@@ -1,0 +1,38 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+``tiny`` preset (42-node dragonfly) with shortened measurement windows,
+records the measured series in ``extra_info`` (visible with
+``pytest-benchmark``'s ``--benchmark-verbose`` or in the JSON export),
+and asserts the paper's qualitative *shape* — who wins and roughly where
+the crossovers fall.  Absolute cycle counts are simulator-scale specific;
+EXPERIMENTS.md records the paper-vs-measured comparison.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.config import NetworkConfig
+from repro.experiments.common import preset_by_name, quicken
+
+
+@pytest.fixture(scope="session")
+def quick_base() -> NetworkConfig:
+    """Tiny preset with halved windows: the benchmark workhorse."""
+    return quicken(preset_by_name("tiny"), 0.5)
+
+
+@pytest.fixture(scope="session")
+def full_base() -> NetworkConfig:
+    """Tiny preset at full windows, for the experiments that need the
+    complete transient (fig7/fig8)."""
+    return preset_by_name("tiny")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

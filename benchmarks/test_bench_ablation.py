@@ -1,0 +1,54 @@
+"""Ablations: internal speedup (AB1), stash placement (AB2), and the
+Little's-law saturation cross-check (A1, paper Section VI-A)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import (
+    run_littles_law_check,
+    run_placement_ablation,
+    run_speedup_ablation,
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ab1_internal_speedup(benchmark, quick_base):
+    rows = run_once(
+        benchmark, run_speedup_ablation, quick_base, (1.0, 1.3), 0.6,
+    )
+    by_speedup = {s: (acc, lat) for s, acc, lat in rows}
+    # the 1.3x overclock must not be *worse* than 1.0x; the paper adds
+    # it to cover the stashing paths' extra internal bandwidth demand
+    assert by_speedup[1.3][0] >= by_speedup[1.0][0] * 0.97
+    benchmark.extra_info["accepted"] = {
+        str(s): round(acc, 3) for s, (acc, _) in by_speedup.items()
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ab2_stash_placement(benchmark, quick_base):
+    res = run_once(
+        benchmark, run_placement_ablation, quick_base, 0.6, 0.5,
+    )
+    # JSQ must not lose to random placement on delivered throughput
+    assert res["jsq"]["accepted"] >= res["random"]["accepted"] * 0.95
+    benchmark.extra_info["jsq"] = res["jsq"]
+    benchmark.extra_info["random"] = res["random"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a1_littles_law_saturation(benchmark, quick_base):
+    res = run_once(
+        benchmark, run_littles_law_check, quick_base, 0.25, (0.2, 0.7),
+    )
+    # the paper's check: predicted 75 % vs simulated ~78 % — Little's law
+    # "closely resembling the simulation result".  Same here: the bound
+    # must track the measured early saturation within ~40 %, and the
+    # restriction must actually bind (saturation well below baseline).
+    predicted = res["predicted_saturation"]
+    simulated = res["simulated_saturation"]
+    assert simulated < 0.6
+    assert 0.7 <= simulated / max(predicted, 1e-9) <= 1.4
+    benchmark.extra_info.update(
+        {k: round(v, 3) for k, v in res.items()}
+    )

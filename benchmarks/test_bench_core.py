@@ -1,0 +1,46 @@
+"""Simulator micro-benchmarks: cycles/second of the switch datapath.
+
+Not a paper artifact — these track the harness's own performance so
+regressions in the hot loop are visible, and they quantify the cost of
+the stashing datapath relative to the baseline switch.
+"""
+
+import pytest
+
+from repro.engine.config import ReliabilityParams, StashParams
+from repro.network import Network
+from repro.topology.single_switch import SingleSwitchTopology
+
+from tests.conftest import single_switch_config
+
+CYCLES = 2000
+
+
+def _run_switch(stash: bool) -> int:
+    cfg = single_switch_config()
+    if stash:
+        cfg = cfg.with_(
+            stash=StashParams(enabled=True, frac_local=0.5),
+            reliability=ReliabilityParams(enabled=True),
+        )
+    topo = SingleSwitchTopology(6, cfg.switch.num_ports, latency=2)
+    net = Network(cfg, topology=topo)
+    net.add_uniform_traffic(rate=0.5)
+    net.sim.run(CYCLES)
+    return sum(ep.flits_ejected for ep in net.endpoints)
+
+
+@pytest.mark.benchmark(group="core")
+def test_baseline_switch_throughput(benchmark):
+    ejected = benchmark(_run_switch, False)
+    assert ejected > 0
+    benchmark.extra_info["cycles"] = CYCLES
+    benchmark.extra_info["flits_ejected"] = ejected
+
+
+@pytest.mark.benchmark(group="core")
+def test_stashing_switch_throughput(benchmark):
+    ejected = benchmark(_run_switch, True)
+    assert ejected > 0
+    benchmark.extra_info["cycles"] = CYCLES
+    benchmark.extra_info["flits_ejected"] = ejected

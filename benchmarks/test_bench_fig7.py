@@ -1,0 +1,44 @@
+"""Figure 7 — network transient response to the onset of congestion:
+(a) victim average latency over time, (b) victim latency ICDF.
+
+Paper shape: the ECN baseline's victim suffers during the transient
+(long ICDF tail, max latencies far above the no-aggressor reference);
+stashing absorbs the transient, keeping the tail close to the reference.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7 import run_fig7
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_transient_response(benchmark, full_base):
+    results = run_once(
+        benchmark, run_fig7, full_base,
+        ("baseline", "stash100", "stash50"), True,
+    )
+
+    base = results["baseline"]
+    stash = results["stash100"]
+    ref = results["reference"]
+
+    # the aggressor hurts the baseline's tail relative to the reference
+    assert base.p99_latency > 1.1 * ref.p99_latency
+    # stashing absorbs the transient: tail far closer to the reference
+    assert stash.p99_latency < base.p99_latency
+    assert stash.max_latency < base.max_latency
+    # paper: "At full capacity, the maximum latency is only about 3x the
+    # best case"; allow up to ~6x at this scale
+    assert stash.max_latency < 6 * ref.max_latency
+
+    # 7a: the baseline's worst time-bin is worse than stashing's
+    assert np.max(base.avg_latency) > np.max(stash.avg_latency)
+
+    for name, res in results.items():
+        benchmark.extra_info[name] = {
+            "mean": round(res.mean_latency, 1),
+            "p99": round(res.p99_latency, 1),
+            "max": round(res.max_latency, 1),
+        }

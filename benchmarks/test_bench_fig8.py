@@ -1,0 +1,47 @@
+"""Figure 8 — stash-buffer usage at a hotspot switch during a
+congestion event.
+
+Paper shape: at aggressor onset the offered load shoots up and stash
+utilization follows; utilization stays high through the ECN transient
+and drains to near zero once ECN converges and the aggressor stops.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8 import run_fig8
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_buffer_usage_timeline(benchmark, full_base):
+    res = run_once(
+        benchmark, run_fig8, full_base, "stash100", 0.4, 0.1, 0.25,
+    )
+
+    t = res.time
+    util = res.stash_utilization
+    load = res.aggressor_load
+    assert t.size > 10
+
+    total = full_base.sim.warmup_cycles + full_base.sim.measure_cycles
+    onset = full_base.sim.warmup_cycles + int(
+        0.1 * (total - full_base.sim.warmup_cycles)
+    )
+    pre = util[t < onset]
+    tail = util[t >= 0.95 * total]
+
+    # before the aggressor: stash essentially idle
+    assert pre.max(initial=0.0) < 0.15
+    # during the event + backlog drain: the stash absorbs congestion
+    assert res.peak_utilization > 0.2
+    # once the aggressor's backlog clears: drained back toward idle
+    assert tail.size == 0 or tail.min() < 0.5 * res.peak_utilization
+
+    # the aggressor's offered load rises at onset and is throttled later
+    assert load[(t >= onset) & (t < onset + 1000)].max() > 2 * max(
+        load[t < onset].max(initial=0.01), 0.01
+    )
+
+    benchmark.extra_info["peak_utilization"] = round(res.peak_utilization, 3)
+    benchmark.extra_info["peak_aggressor_load"] = round(float(load.max()), 2)

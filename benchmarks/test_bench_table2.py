@@ -1,0 +1,30 @@
+"""Table II — application trace inventory (synthetic DesignForward
+analogues), validated by building every trace at benchmark scale."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import run_table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_trace_inventory(benchmark):
+    rows = run_once(benchmark, run_table2, 42, 4)
+
+    names = {r["name"] for r in rows}
+    assert names == {
+        "BIGFFT", "AMG", "MultiGrid", "FillBoundary", "AMR", "MiniFE",
+    }
+    # bandwidth-bound traces move more data than the light ones (the
+    # property Fig. 6's contrast rests on)
+    by_name = {r["name"]: r for r in rows}
+    heavy = min(by_name["BIGFFT"]["send_flits"],
+                by_name["FillBoundary"]["send_flits"])
+    light = max(by_name["MultiGrid"]["send_flits"],
+                by_name["MiniFE"]["send_flits"])
+    assert heavy > light
+
+    for r in rows:
+        benchmark.extra_info[r["name"]] = {
+            "ops": r["ops"], "flits": r["send_flits"],
+        }

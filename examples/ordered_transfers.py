@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Paper Section IV-C: packet order enforcement backed by stashing.
+
+Adaptive (PAR) routing delivers a message's packets out of order; the
+paper proposes destination reorder buffers whose overflow drops are
+recovered by the stash-based end-to-end retransmission — "allowing for
+eager solutions" without endpoint retransmission hardware.
+
+This example sends large multi-packet messages across the dragonfly
+with a deliberately tiny reorder buffer and shows: packets always reach
+the application in sequence order; overflow drops are retransmitted from
+the first-hop stash; everything completes.
+
+Run:  python examples/ordered_transfers.py
+"""
+
+from repro import (
+    Network,
+    OrderingParams,
+    ReliabilityParams,
+    StashParams,
+    tiny_preset,
+)
+
+
+def run(buffer_flits: int) -> None:
+    cfg = tiny_preset().with_(
+        stash=StashParams(enabled=True, frac_local=0.5),
+        reliability=ReliabilityParams(enabled=True),
+        ordering=OrderingParams(enabled=True, buffer_flits=buffer_flits),
+    )
+    net = Network(cfg)
+
+    order_ok = True
+    seen: dict[int, int] = {}
+
+    def check(pkt, _cycle):
+        nonlocal order_ok
+        expected = seen.get(pkt.msg_id, 0)
+        if pkt.seq != expected:
+            order_ok = False
+        seen[pkt.msg_id] = pkt.seq + 1
+
+    net.on_packet_delivered_hooks.append(check)
+    for src in range(net.topology.num_nodes):
+        dst = (src + 11) % net.topology.num_nodes
+        net.endpoints[src].post_message(dst, 80, 0)  # 10 packets each
+
+    net.sim.run(2000)
+    assert net.drain(400_000), "network failed to drain"
+
+    posted = sum(ep.messages_posted for ep in net.endpoints)
+    done = sum(1 for m in net.messages.values() if m.delivered)
+    drops = sum(ep.packets_reorder_dropped for ep in net.endpoints)
+    retrans = sum(sw.retransmits_issued for sw in net.switches)
+    held = sum(ep.reorder.held_total for ep in net.endpoints)
+    print(f"--- reorder buffer = {buffer_flits} flits ---")
+    print(f"messages completed    : {done}/{posted}")
+    print(f"in-order delivery     : {'yes' if order_ok else 'NO'}")
+    print(f"early packets held    : {held}")
+    print(f"overflow drops        : {drops}")
+    print(f"stash retransmissions : {retrans}")
+    assert order_ok and done == posted
+    print()
+
+
+def main() -> None:
+    print("multi-packet messages over PAR adaptive routing\n")
+    run(buffer_flits=256)  # roomy: reordering absorbed silently
+    run(buffer_flits=8)    # tiny: drops recovered from the stash
+    print("strict ordering held in both cases; drops were recovered.")
+
+
+if __name__ == "__main__":
+    main()

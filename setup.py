@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment ships setuptools without the ``wheel`` package, so the
+PEP 517 editable-install path (``pip install -e .``) cannot build the
+editable wheel.  ``python setup.py develop`` installs the same editable
+package through the legacy egg-link mechanism.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Analytic models and post-processing: Table I buffer underutilization,
+the Little's-law saturation model of Section VI-A, and metric helpers."""
+
+from repro.analysis.table1 import (
+    LinkClassRow,
+    buffer_underutilization,
+    dragonfly_link_table,
+    paper_table1,
+)
+from repro.analysis.littles_law import (
+    stash_limited_injection_rate,
+    stash_per_endpoint_flits,
+)
+from repro.analysis.metrics import normalized_runtimes, saturation_load
+from repro.analysis.ascii_chart import line_chart, multi_series_chart
+from repro.analysis.report import format_report, network_report
+
+__all__ = [
+    "LinkClassRow",
+    "buffer_underutilization",
+    "dragonfly_link_table",
+    "format_report",
+    "line_chart",
+    "multi_series_chart",
+    "network_report",
+    "normalized_runtimes",
+    "paper_table1",
+    "saturation_load",
+    "stash_limited_injection_rate",
+    "stash_per_endpoint_flits",
+]

@@ -1,0 +1,68 @@
+"""Terminal line charts for the experiment runner.
+
+The paper's artifact post-processed BookSim statistics with MATLAB; the
+runner renders the same series as compact ASCII charts so figures can be
+eyeballed straight from the console.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["line_chart", "multi_series_chart"]
+
+
+def _finite(values: Sequence[float]) -> list[float]:
+    return [v for v in values if not (math.isnan(v) or math.isinf(v))]
+
+
+def line_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """A single-series scatter/line chart on a character grid."""
+    return multi_series_chart({label or "y": (xs, ys)}, width, height)
+
+
+def multi_series_chart(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Overlay several (x, y) series; each gets a distinct glyph."""
+    if not series:
+        raise ValueError("no series to plot")
+    glyphs = "*o+x#@%&"
+    all_x = _finite([x for xs, _ in series.values() for x in xs])
+    all_y = _finite([y for _, ys in series.values() for y in ys])
+    if not all_x or not all_y:
+        return "(no finite data)"
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for (name, (xs, ys)), glyph in zip(series.items(), glyphs):
+        legend.append(f"{glyph}={name}")
+        for x, y in zip(xs, ys):
+            if math.isnan(x) or math.isnan(y):
+                continue
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = glyph
+
+    lines = [f"{y_hi:>10.4g} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.4g} ┤" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{x_lo:<.4g}" + " " * max(1, width - 16) + f"{x_hi:>.4g}"
+    )
+    lines.append(" " * 12 + "  ".join(legend))
+    return "\n".join(lines)

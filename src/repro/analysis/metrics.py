@@ -1,0 +1,33 @@
+"""Post-processing helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["normalized_runtimes", "saturation_load"]
+
+
+def normalized_runtimes(
+    runtimes: dict[str, dict[str, float]], baseline: str = "baseline"
+) -> dict[str, dict[str, float]]:
+    """Fig. 6 normalization: per app, every variant's execution time over
+    the baseline's."""
+    out: dict[str, dict[str, float]] = {}
+    for app, by_variant in runtimes.items():
+        base = by_variant.get(baseline)
+        if base is None or base <= 0:
+            raise ValueError(f"no baseline runtime for app {app!r}")
+        out[app] = {v: t / base for v, t in by_variant.items()}
+    return out
+
+
+def saturation_load(
+    points: list[tuple[float, float]], efficiency: float = 0.95
+) -> float:
+    """Estimate the saturation point from (offered, accepted) pairs: the
+    highest offered load at which accepted >= efficiency * offered."""
+    sat = math.nan
+    for offered, accepted in sorted(points):
+        if offered > 0 and accepted >= efficiency * offered:
+            sat = offered
+    return sat

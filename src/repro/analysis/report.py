@@ -1,0 +1,129 @@
+"""Network instrumentation reports.
+
+Aggregates the counters every component already maintains into a single
+structured snapshot (and a human-readable rendering): per-class port
+utilization, stash activity, protocol health (ECN cuts, link replays,
+retransmissions, reorder drops), and conservation checks.  This replaces
+the grep-the-log workflow of the original BookSim artifact.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network import Network
+
+__all__ = ["format_report", "network_report"]
+
+
+def network_report(net: "Network") -> dict[str, Any]:
+    """A structured snapshot of every subsystem's counters."""
+    cycle = max(1, net.sim.cycle)
+    eps = net.endpoints
+
+    endpoints = {
+        "messages_posted": sum(ep.messages_posted for ep in eps),
+        "flits_generated": sum(ep.flits_generated for ep in eps),
+        "flits_injected": sum(ep.flits_injected for ep in eps),
+        "flits_ejected": sum(ep.flits_ejected for ep in eps),
+        "packets_delivered": sum(ep.packets_delivered for ep in eps),
+        "packets_corrupted": sum(ep.packets_corrupted for ep in eps),
+        "reorder_drops": sum(ep.packets_reorder_dropped for ep in eps),
+        "injection_rate": sum(ep.flits_injected for ep in eps)
+        / (cycle * max(1, len(eps))),
+    }
+
+    switch_counters = {
+        "flits_received": 0,
+        "flits_sent": 0,
+        "packets_marked": 0,
+        "packets_diverted": 0,
+        "copies_dispatched": 0,
+        "stash_stalls": 0,
+        "crossbar_flits": 0,
+    }
+    stash = {
+        "capacity_flits": 0,
+        "committed_flits": 0,
+        "stored_total": 0,
+        "deleted_total": 0,
+        "retrieved_total": 0,
+        "peak_committed": 0,
+        "retransmits_issued": 0,
+        "sideband_messages": 0,
+    }
+    link = {"replayed": 0, "nacks": 0, "discarded": 0, "accepted": 0}
+
+    for sw in net.switches:
+        for ip in sw.in_ports:
+            switch_counters["flits_received"] += ip.flits_received
+            switch_counters["flits_sent"] += ip.flits_sent
+            switch_counters["packets_marked"] += ip.packets_marked
+            switch_counters["packets_diverted"] += ip.packets_diverted
+            switch_counters["copies_dispatched"] += ip.copies_dispatched
+            switch_counters["stash_stalls"] += ip.stall_no_stash
+            if ip.link_rx is not None:
+                link["discarded"] += ip.link_rx.flits_discarded
+                link["accepted"] += ip.link_rx.flits_accepted
+        for op in sw.out_ports:
+            if op.link_tx is not None:
+                link["replayed"] += op.link_tx.flits_replayed
+                link["nacks"] += op.link_tx.nacks_received
+        for row in sw.tiles:
+            for tile in row:
+                switch_counters["crossbar_flits"] += tile.flits_switched
+        if sw.stash_dir is not None:
+            stash["capacity_flits"] += sw.stash_dir.total_capacity()
+            stash["committed_flits"] += sw.stash_dir.total_committed()
+            for part in sw.stash_dir.partitions:
+                stash["stored_total"] += part.stored_total
+                stash["deleted_total"] += part.deleted_total
+                stash["retrieved_total"] += part.retrieved_total
+                stash["peak_committed"] += part.peak_committed
+            stash["retransmits_issued"] += getattr(
+                sw, "retransmits_issued", 0
+            )
+        if sw.sideband is not None:
+            stash["sideband_messages"] += sw.sideband.sent_total
+
+    ecn = {
+        "window_cuts": sum(ep.ecn.window_cuts for ep in eps),
+        "ecn_acks": sum(ep.ecn.ecn_acks for ep in eps),
+        "throttled_destinations": sum(
+            ep.ecn.throttled_destinations for ep in eps
+        ),
+    }
+
+    messages = net.messages.values()
+    conservation = {
+        "messages_delivered": sum(1 for m in messages if m.delivered),
+        "messages_total": len(net.messages),
+        "in_flight_flits": sum(sw.inflight for sw in net.switches),
+    }
+
+    return {
+        "cycle": net.sim.cycle,
+        "endpoints": endpoints,
+        "switches": switch_counters,
+        "stash": stash,
+        "ecn": ecn,
+        "link": link,
+        "conservation": conservation,
+    }
+
+
+def format_report(report: dict[str, Any]) -> str:
+    lines = [f"network report @ cycle {report['cycle']}"]
+    for section in ("endpoints", "switches", "stash", "ecn", "link",
+                    "conservation"):
+        body = report[section]
+        if not any(body.values()):
+            continue
+        lines.append(f"  [{section}]")
+        for key, value in body.items():
+            if isinstance(value, float):
+                lines.append(f"    {key:<24} {value:.4f}")
+            else:
+                lines.append(f"    {key:<24} {value}")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""The dedicated side-band bookkeeping network inside a stashing switch.
+
+End-to-end reliability needs small metadata messages between end ports
+and stash buffers scattered around the chip: *location* messages
+(stash buffer -> originating end port, carrying the buffer index),
+*delete* messages (end port -> stash buffer, on positive ACK) and
+*retransmit* messages (end port -> stash buffer, on negative ACK).  The
+paper models "a simple dedicated network to handle these side-band
+communications" (Section IV-A); we model it as a fixed-latency delivery
+fabric internal to one switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.engine.channel import Channel
+
+__all__ = ["SidebandKind", "SidebandMessage", "SidebandNetwork"]
+
+
+class SidebandKind(IntEnum):
+    LOCATION = 0
+    DELETE = 1
+    RETRANSMIT = 2
+
+
+@dataclass(frozen=True)
+class SidebandMessage:
+    """A few bytes of metadata: packet tracking index, ports, location."""
+
+    kind: SidebandKind
+    dest_port: int
+    pid: int
+    stash_port: int
+    location: int
+    #: originating end port (used by RETRANSMIT so the re-sent packet's
+    #: new stash copy reports back to the right tracker)
+    origin_port: int = -1
+
+
+class SidebandNetwork:
+    """Fixed-latency all-to-all delivery between the ports of one switch."""
+
+    def __init__(self, num_ports: int, latency: int) -> None:
+        if latency < 1:
+            raise ValueError("side-band latency must be at least one cycle")
+        self.num_ports = num_ports
+        self._channel: Channel[SidebandMessage] = Channel(latency, "sideband")
+        self.sent_total = 0
+
+    def send(self, msg: SidebandMessage, cycle: int) -> None:
+        if not 0 <= msg.dest_port < self.num_ports:
+            raise ValueError(f"side-band destination {msg.dest_port} out of range")
+        self._channel.send(msg, cycle)
+        self.sent_total += 1
+
+    def deliver_ready(self, cycle: int) -> list[SidebandMessage]:
+        """All messages arriving this cycle, in send order."""
+        return list(self._channel.recv_ready(cycle))
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._channel)

@@ -1,0 +1,6 @@
+"""Endpoint (NIC) models: queue-pair send queues, message segmentation,
+packet injection, ACK generation, and ECN window enforcement."""
+
+from repro.endpoints.endpoint import Endpoint
+
+__all__ = ["Endpoint"]

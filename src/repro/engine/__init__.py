@@ -1,0 +1,48 @@
+"""Simulation kernel: cycle loop, channels, configuration, statistics.
+
+This package is the BookSim-substitute substrate: a deterministic,
+cycle-level simulation engine that the switch, endpoint, and protocol
+models plug into.
+"""
+
+from repro.engine.channel import Channel, CreditChannel
+from repro.engine.config import (
+    EcnParams,
+    NetworkConfig,
+    ReliabilityParams,
+    SimParams,
+    StashParams,
+    SwitchParams,
+    paper_preset,
+    small_preset,
+    tiny_preset,
+)
+from repro.engine.rng import DeterministicRng
+from repro.engine.simulator import Component, Simulator
+from repro.engine.stats import (
+    Histogram,
+    LatencyStats,
+    RateMeter,
+    TimeSeries,
+)
+
+__all__ = [
+    "Channel",
+    "Component",
+    "CreditChannel",
+    "DeterministicRng",
+    "EcnParams",
+    "Histogram",
+    "LatencyStats",
+    "NetworkConfig",
+    "RateMeter",
+    "ReliabilityParams",
+    "SimParams",
+    "Simulator",
+    "StashParams",
+    "SwitchParams",
+    "TimeSeries",
+    "paper_preset",
+    "small_preset",
+    "tiny_preset",
+]

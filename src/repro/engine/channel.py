@@ -1,0 +1,73 @@
+"""Fixed-latency channels connecting switches and endpoints.
+
+A :class:`Channel` models a unidirectional network link (or internal
+side-band wire) with constant latency measured in cycles: items ``send()``-ed
+at cycle *t* become visible to ``recv_ready()`` at cycle ``t + latency``.
+Bandwidth is enforced by the senders (one flit per cycle per link); the
+channel itself is a pure delay line.
+
+:class:`CreditChannel` is the same delay line specialised for credits, which
+travel opposite to flits on the paired reverse wire.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Channel", "CreditChannel"]
+
+
+class Channel(Generic[T]):
+    """Constant-latency FIFO delay line."""
+
+    __slots__ = ("latency", "name", "_queue")
+
+    def __init__(self, latency: int, name: str = "") -> None:
+        if latency < 1:
+            raise ValueError("channel latency must be at least one cycle")
+        self.latency = latency
+        self.name = name
+        self._queue: deque[tuple[int, T]] = deque()
+
+    def send(self, item: T, cycle: int) -> None:
+        """Enqueue ``item`` for delivery at ``cycle + latency``.
+
+        Sends must be issued with non-decreasing cycles (the simulator's
+        cycle loop guarantees this); FIFO order then equals delivery order.
+        """
+        self._queue.append((cycle + self.latency, item))
+
+    def recv_ready(self, cycle: int) -> Iterator[T]:
+        """Yield every item whose delivery time has arrived."""
+        q = self._queue
+        while q and q[0][0] <= cycle:
+            yield q.popleft()[1]
+
+    def peek_ready(self, cycle: int) -> T | None:
+        if self._queue and self._queue[0][0] <= cycle:
+            return self._queue[0][1]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Channel({self.name or '?'}, lat={self.latency}, n={len(self)})"
+
+
+class CreditChannel(Channel[Any]):
+    """Reverse-direction credit wire paired with a flit channel.
+
+    Credits are ``(vc, flits)`` tuples; the receiving output port applies
+    them to its mirror of the downstream input buffer.
+    """
+
+    def send_credit(self, vc: int, flits: int, cycle: int) -> None:
+        self.send((vc, flits), cycle)

@@ -1,0 +1,184 @@
+"""Statistics collection: latency samples, rates, time series, histograms.
+
+These collectors replace the paper's BookSim statistics output plus the
+MATLAB post-processing scripts.  All of them are measurement-window aware:
+samples recorded outside the active window are dropped, matching BookSim's
+warmup handling.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["Histogram", "LatencyStats", "RateMeter", "TimeSeries"]
+
+
+class LatencyStats:
+    """Per-packet latency samples with percentile and ICDF queries."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._sorted = True
+        self.enabled = True
+
+    def record(self, value: float) -> None:
+        if not self.enabled:
+            return
+        self._samples.append(float(value))
+        self._sorted = False
+
+    def _ensure_sorted(self) -> list[float]:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return math.nan
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else math.nan
+
+    @property
+    def min(self) -> float:
+        return min(self._samples) if self._samples else math.nan
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile; ``pct`` in [0, 100]."""
+        data = self._ensure_sorted()
+        if not data:
+            return math.nan
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        rank = max(0, min(len(data) - 1, math.ceil(pct / 100.0 * len(data)) - 1))
+        return data[rank]
+
+    def inverse_cdf(self, num_points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """Inverse cumulative distribution: fraction of packets with
+        latency > x, as plotted in the paper's Figure 7b.
+
+        Returns ``(latencies, fractions)`` suitable for a semilog-y plot.
+        """
+        data = np.asarray(self._ensure_sorted(), dtype=float)
+        if data.size == 0:
+            return np.empty(0), np.empty(0)
+        xs = np.linspace(data[0], data[-1], num_points)
+        # fraction strictly greater than x
+        counts = data.size - np.searchsorted(data, xs, side="right")
+        return xs, counts / data.size
+
+    def merged_with(self, other: "LatencyStats") -> "LatencyStats":
+        out = LatencyStats()
+        out._samples = self._samples + other._samples
+        out._sorted = False
+        return out
+
+
+class RateMeter:
+    """Counts events (e.g. ejected flits) over an explicit window."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._window_start: int | None = None
+        self._window_end: int | None = None
+
+    def open_window(self, cycle: int) -> None:
+        self._window_start = cycle
+        self.count = 0
+
+    def close_window(self, cycle: int) -> None:
+        self._window_end = cycle
+
+    @property
+    def active(self) -> bool:
+        return self._window_start is not None and self._window_end is None
+
+    def record(self, amount: int = 1) -> None:
+        if self.active:
+            self.count += amount
+
+    def rate(self) -> float:
+        """Events per cycle over the closed window."""
+        if self._window_start is None or self._window_end is None:
+            return math.nan
+        span = self._window_end - self._window_start
+        return self.count / span if span > 0 else math.nan
+
+
+class TimeSeries:
+    """Windowed averages over simulation time (Figures 7a and 8).
+
+    Values are accumulated into fixed-width bins of ``period`` cycles;
+    :meth:`series` returns (bin centre, bin mean) pairs.  Bins with no
+    samples are carried forward (``hold_last=True``) or skipped.
+    """
+
+    def __init__(self, period: int, hold_last: bool = True) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self.hold_last = hold_last
+        self._sums: dict[int, float] = {}
+        self._counts: dict[int, int] = {}
+
+    def record(self, cycle: int, value: float) -> None:
+        bin_id = cycle // self.period
+        self._sums[bin_id] = self._sums.get(bin_id, 0.0) + value
+        self._counts[bin_id] = self._counts.get(bin_id, 0) + 1
+
+    def series(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self._sums:
+            return np.empty(0), np.empty(0)
+        first = min(self._sums)
+        last = max(self._sums)
+        times: list[float] = []
+        values: list[float] = []
+        prev: float | None = None
+        for b in range(first, last + 1):
+            if b in self._sums:
+                prev = self._sums[b] / self._counts[b]
+            elif not self.hold_last or prev is None:
+                continue
+            times.append((b + 0.5) * self.period)
+            values.append(prev)
+        return np.asarray(times), np.asarray(values)
+
+
+class Histogram:
+    """Fixed-bin histogram used for buffer-occupancy distributions."""
+
+    def __init__(self, num_bins: int, lo: float, hi: float) -> None:
+        if num_bins < 1 or hi <= lo:
+            raise ValueError("invalid histogram bounds")
+        self.lo = lo
+        self.hi = hi
+        self.counts = np.zeros(num_bins, dtype=np.int64)
+
+    def record(self, value: float) -> None:
+        frac = (value - self.lo) / (self.hi - self.lo)
+        idx = int(frac * len(self.counts))
+        idx = max(0, min(len(self.counts) - 1, idx))
+        self.counts[idx] += 1
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def normalized(self) -> np.ndarray:
+        total = self.total
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=float)
+        return self.counts / total

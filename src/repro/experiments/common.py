@@ -1,0 +1,102 @@
+"""Shared experiment plumbing: network variants and presets.
+
+The paper compares four networks in the reliability study (Section VI-A)
+— baseline (no stashing, unlimited outstanding packets) and stashing at
+100 % / 50 % / 25 % capacity — and three in the congestion study
+(Section VI-B): ECN baseline, ECN + stashing at 100 % and 50 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.engine.config import NetworkConfig, StashParams, ReliabilityParams
+from repro.network import Network
+
+__all__ = [
+    "CONGESTION_VARIANTS",
+    "RELIABILITY_VARIANTS",
+    "congestion_network",
+    "preset_by_name",
+    "quicken",
+    "reliability_network",
+]
+
+#: variant name -> stash capacity scale (None = no stashing)
+RELIABILITY_VARIANTS: dict[str, float | None] = {
+    "baseline": None,
+    "stash100": 1.0,
+    "stash50": 0.5,
+    "stash25": 0.25,
+}
+
+CONGESTION_VARIANTS: dict[str, float | None] = {
+    "baseline": None,
+    "stash100": 1.0,
+    "stash50": 0.5,
+}
+
+
+def preset_by_name(name: str) -> NetworkConfig:
+    from repro.engine.config import paper_preset, small_preset, tiny_preset
+
+    presets = {"tiny": tiny_preset, "small": small_preset, "paper": paper_preset}
+    if name not in presets:
+        raise ValueError(f"unknown preset {name!r}; choose from {sorted(presets)}")
+    return presets[name]()
+
+
+def quicken(config: NetworkConfig, factor: float) -> NetworkConfig:
+    """Scale measurement windows by ``factor`` (<1 shortens runs; used by
+    the benchmark harness to keep wall-clock bounded)."""
+    sim = config.sim
+    return config.with_(
+        sim=replace(
+            sim,
+            warmup_cycles=max(200, int(sim.warmup_cycles * factor)),
+            measure_cycles=max(500, int(sim.measure_cycles * factor)),
+            drain_cycles=max(1000, int(sim.drain_cycles * factor)),
+        )
+    )
+
+
+def reliability_network(
+    base: NetworkConfig, variant: str, seed: int | None = None
+) -> Network:
+    """A Section VI-A network: ACKs always on; stashing variants add
+    first-hop end-to-end retransmission storage."""
+    scale = RELIABILITY_VARIANTS[variant]
+    cfg = base
+    if seed is not None:
+        cfg = cfg.with_(sim=replace(cfg.sim, seed=seed))
+    if scale is None:
+        cfg = cfg.with_(
+            stash=StashParams(enabled=False),
+            reliability=ReliabilityParams(enabled=False),
+        )
+    else:
+        cfg = cfg.with_(
+            stash=replace(cfg.stash, enabled=True, capacity_scale=scale),
+            reliability=ReliabilityParams(enabled=True),
+        )
+    return Network(cfg, acks_enabled=True)
+
+
+def congestion_network(
+    base: NetworkConfig, variant: str, seed: int | None = None
+) -> Network:
+    """A Section VI-B network: ECN always on; stashing variants also
+    stash HoL-blocked packets while congestion notification converges."""
+    scale = CONGESTION_VARIANTS[variant]
+    cfg = base
+    if seed is not None:
+        cfg = cfg.with_(sim=replace(cfg.sim, seed=seed))
+    ecn = replace(cfg.ecn, enabled=True, stash_on_congestion=scale is not None)
+    if scale is None:
+        cfg = cfg.with_(stash=StashParams(enabled=False), ecn=ecn)
+    else:
+        cfg = cfg.with_(
+            stash=replace(cfg.stash, enabled=True, capacity_scale=scale),
+            ecn=ecn,
+        )
+    return Network(cfg, acks_enabled=True)

@@ -1,0 +1,90 @@
+"""Figure 5: performance impact of stashing for end-to-end reliability
+under uniform-random traffic.
+
+5a: average network latency vs offered load; 5b: offered vs accepted
+throughput — for the baseline and stashing networks at 100 % / 50 % /
+25 % capacity.  Expected shape (paper Section VI-A): stash 100 % and
+50 % track the baseline; 25 % saturates early at roughly the Little's-law
+bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.config import NetworkConfig
+from repro.experiments.common import (
+    RELIABILITY_VARIANTS,
+    preset_by_name,
+    reliability_network,
+)
+
+__all__ = ["Fig5Point", "format_fig5", "run_fig5"]
+
+DEFAULT_LOADS = (0.1, 0.3, 0.5, 0.7, 0.8, 0.9)
+
+
+@dataclass(frozen=True)
+class Fig5Point:
+    offered: float
+    accepted: float
+    avg_latency: float
+    p99_latency: float
+
+
+def run_fig5(
+    base: NetworkConfig | None = None,
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    variants: tuple[str, ...] = tuple(RELIABILITY_VARIANTS),
+    msg_flits: int | None = None,
+    seed: int = 1,
+) -> dict[str, list[Fig5Point]]:
+    base = base or preset_by_name("tiny")
+    results: dict[str, list[Fig5Point]] = {}
+    for variant in variants:
+        points: list[Fig5Point] = []
+        for load in loads:
+            net = reliability_network(base, variant, seed=seed)
+            net.add_uniform_traffic(rate=load, msg_flits=msg_flits)
+            res = net.run_standard()
+            points.append(
+                Fig5Point(
+                    offered=res.offered_load,
+                    accepted=res.accepted_load,
+                    avg_latency=res.avg_latency,
+                    p99_latency=res.p99_latency,
+                )
+            )
+        results[variant] = points
+    return results
+
+
+def format_fig5(results: dict[str, list[Fig5Point]]) -> str:
+    from repro.analysis.ascii_chart import multi_series_chart
+
+    lines = [
+        "Figure 5 — reliability stashing under uniform-random traffic",
+        "",
+        "(a) latency vs offered load        (b) offered vs accepted",
+        f"{'variant':<10} {'offered':>8} {'accepted':>9} {'avg lat':>8} {'p99':>8}",
+    ]
+    for variant, points in results.items():
+        for p in points:
+            lines.append(
+                f"{variant:<10} {p.offered:>8.3f} {p.accepted:>9.3f} "
+                f"{p.avg_latency:>8.1f} {p.p99_latency:>8.1f}"
+            )
+        lines.append("")
+    lines.append("(b) offered vs accepted throughput:")
+    lines.append(
+        multi_series_chart(
+            {
+                variant: (
+                    [p.offered for p in points],
+                    [p.accepted for p in points],
+                )
+                for variant, points in results.items()
+            }
+        )
+    )
+    return "\n".join(lines)

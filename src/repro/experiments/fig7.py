@@ -1,0 +1,130 @@
+"""Figure 7: network transient response to the onset of congestion.
+
+A uniform-random victim shares the network with hotspot aggressors that
+activate partway through the run.  7a plots the victim's average latency
+over time; 7b the victim's inverse-cumulative latency distribution, with
+a no-aggressor baseline as reference.
+
+Expected shape (paper Section VI-B): the ECN baseline's victim latency
+spikes during the transient and its ICDF grows a long tail; stashing
+absorbs the transient (higher capacity -> flatter time series, shorter
+tail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.config import NetworkConfig
+from repro.engine.stats import TimeSeries
+from repro.experiments.common import (
+    CONGESTION_VARIANTS,
+    congestion_network,
+    preset_by_name,
+)
+from repro.traffic.aggressor import hotspot_scenario
+
+__all__ = ["Fig7Result", "format_fig7", "run_fig7"]
+
+
+@dataclass
+class Fig7Result:
+    """Per-variant victim series + distribution."""
+
+    time: np.ndarray
+    avg_latency: np.ndarray
+    icdf_latency: np.ndarray
+    icdf_fraction: np.ndarray
+    mean_latency: float
+    p99_latency: float
+    max_latency: float
+
+
+def run_fig7(
+    base: NetworkConfig | None = None,
+    variants: tuple[str, ...] = tuple(CONGESTION_VARIANTS),
+    include_reference: bool = True,
+    victim_rate: float = 0.4,
+    onset_fraction: float = 0.2,
+    seed: int = 1,
+    total_cycles: int | None = None,
+) -> dict[str, Fig7Result]:
+    base = base or preset_by_name("tiny")
+    sim = base.sim
+    total = total_cycles or (sim.warmup_cycles + sim.measure_cycles)
+    onset = sim.warmup_cycles + int(
+        onset_fraction * (total - sim.warmup_cycles)
+    )
+
+    results: dict[str, Fig7Result] = {}
+    runs = list(variants) + (["reference"] if include_reference else [])
+    for name in runs:
+        variant = "baseline" if name == "reference" else name
+        net = congestion_network(base, variant, seed=seed)
+        scenario = hotspot_scenario(
+            net,
+            victim_rate=victim_rate,
+            aggressor_start=onset if name != "reference" else 10**9,
+        )
+        victims = frozenset(scenario.victim_nodes)
+        series = TimeSeries(period=max(1, sim.sample_period))
+
+        def on_delivered(pkt, cycle, _victims=victims, _series=series):
+            if pkt.src in _victims:
+                _series.record(cycle, cycle - pkt.birth_cycle)
+
+        net.on_packet_delivered_hooks.append(on_delivered)
+        net.sim.run(sim.warmup_cycles)
+        net.open_measurement()
+        net.sim.run(total - sim.warmup_cycles)
+        net.close_measurement()
+
+        t, lat = series.series()
+        stats = net.group_latency["victim"]
+        x, frac = stats.inverse_cdf()
+        results[name] = Fig7Result(
+            time=t,
+            avg_latency=lat,
+            icdf_latency=x,
+            icdf_fraction=frac,
+            mean_latency=stats.mean,
+            p99_latency=stats.percentile(99),
+            max_latency=stats.max,
+        )
+    return results
+
+
+def format_fig7(results: dict[str, Fig7Result]) -> str:
+    lines = [
+        "Figure 7 — victim response to congestion onset",
+        "",
+        f"{'variant':<11} {'mean lat':>9} {'p99 lat':>9} {'max lat':>9}",
+    ]
+    for name, res in results.items():
+        lines.append(
+            f"{name:<11} {res.mean_latency:>9.1f} {res.p99_latency:>9.1f} "
+            f"{res.max_latency:>9.0f}"
+        )
+    lines.append("")
+    lines.append("(a) victim avg latency over time:")
+    from repro.analysis.ascii_chart import multi_series_chart
+
+    series = {
+        name: (res.time, res.avg_latency)
+        for name, res in results.items()
+        if res.time.size
+    }
+    if series:
+        lines.append(multi_series_chart(series))
+    lines.append("")
+    lines.append("(b) victim inverse-cumulative latency distribution:")
+    icdf = {
+        name: (res.icdf_latency, res.icdf_fraction)
+        for name, res in results.items()
+        if res.icdf_latency.size
+    }
+    if icdf:
+        lines.append(multi_series_chart(icdf))
+    return "\n".join(lines)

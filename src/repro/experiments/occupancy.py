@@ -1,0 +1,106 @@
+"""Dynamic buffer-occupancy census: Table I measured, not just derived.
+
+Table I *derives* buffer underutilization from link lengths; this
+experiment *measures* it: run the baseline symmetric-port network under
+realistic load, sample every port's committed input + output occupancy,
+and report the peak per link class.  The fraction of the symmetric
+buffer never touched is the stashable headroom — the empirical basis of
+the whole paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.config import NetworkConfig
+from repro.experiments.common import preset_by_name
+from repro.network import Network
+
+__all__ = ["OccupancyRow", "format_occupancy", "run_occupancy_census"]
+
+
+@dataclass(frozen=True)
+class OccupancyRow:
+    link_class: str
+    ports: int
+    capacity_flits: int  # input + output per port
+    peak_flits: int
+    mean_peak_flits: float
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of the port's buffering never used even at peak."""
+        return 1.0 - self.peak_flits / self.capacity_flits
+
+
+def run_occupancy_census(
+    base: NetworkConfig | None = None,
+    load: float = 0.6,
+    seed: int = 1,
+    sample_period: int = 20,
+) -> list[OccupancyRow]:
+    base = base or preset_by_name("tiny")
+    net = Network(base)  # baseline: full symmetric buffers everywhere
+    net.add_uniform_traffic(rate=load)
+
+    topo = net.topology
+    classes = ("endpoint", "local", "global")
+    # (switch, port) -> link class, and per-port peak tracker
+    port_class: dict[tuple[int, int], str] = {}
+    peak: dict[tuple[int, int], int] = {}
+    for s in range(topo.num_switches):
+        for spec in topo.switch_ports(s):
+            if spec.link_class in classes:
+                port_class[(s, spec.port)] = spec.link_class
+                peak[(s, spec.port)] = 0
+
+    def probe(_cycle: int) -> None:
+        for (s, p), current in peak.items():
+            sw = net.switches[s]
+            occ = (
+                sw.in_ports[p].damq.total_committed
+                + sw.out_ports[p].out_damq.total_committed
+            )
+            if occ > current:
+                peak[(s, p)] = occ
+
+    net.sim.add_sampler(sample_period, probe)
+    net.sim.run(base.sim.warmup_cycles + base.sim.measure_cycles)
+
+    capacity = base.switch.input_buffer_flits + base.switch.output_buffer_flits
+    rows = []
+    for cls in classes:
+        peaks = [v for key, v in peak.items() if port_class[key] == cls]
+        if not peaks:
+            continue
+        rows.append(
+            OccupancyRow(
+                link_class=cls,
+                ports=len(peaks),
+                capacity_flits=capacity,
+                peak_flits=max(peaks),
+                mean_peak_flits=sum(peaks) / len(peaks),
+            )
+        )
+    return rows
+
+
+def format_occupancy(rows: list[OccupancyRow], load: float = 0.6) -> str:
+    lines = [
+        f"Measured buffer occupancy census (baseline network, load {load})",
+        "",
+        f"{'class':<10} {'ports':>6} {'capacity':>9} {'peak':>6} "
+        f"{'mean peak':>10} {'idle at peak':>13}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.link_class:<10} {r.ports:>6} {r.capacity_flits:>9} "
+            f"{r.peak_flits:>6} {r.mean_peak_flits:>10.1f} "
+            f"{r.idle_fraction:>12.0%}"
+        )
+    lines.append("")
+    lines.append(
+        "idle-at-peak is the stashable headroom Table I derives from link "
+        "lengths — here measured under traffic."
+    )
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    repro-experiments table1
+    repro-experiments fig5 --preset tiny --quick
+    repro-experiments all --quick
+    python -m repro.experiments.runner fig7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import preset_by_name, quicken
+
+__all__ = ["main"]
+
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ablation",
+    "occupancy",
+    "fattree",
+)
+
+
+def _run_one(name: str, base, quick: bool) -> str:
+    if name == "table1":
+        from repro.experiments.tables import format_table1, run_table1
+
+        return format_table1(run_table1(base))
+    if name == "table2":
+        from repro.experiments.tables import format_table2, run_table2
+
+        return format_table2(run_table2())
+    if name == "fig5":
+        from repro.experiments.fig5 import format_fig5, run_fig5
+
+        loads = (0.2, 0.5, 0.8) if quick else (0.1, 0.3, 0.5, 0.7, 0.8, 0.9)
+        return format_fig5(run_fig5(base, loads=loads))
+    if name == "fig6":
+        from repro.experiments.fig6 import format_fig6, run_fig6
+
+        apps = ("BIGFFT", "MiniFE") if quick else None
+        kwargs = {"apps": apps} if apps else {}
+        return format_fig6(run_fig6(base, **kwargs))
+    if name == "fig7":
+        from repro.experiments.fig7 import format_fig7, run_fig7
+
+        return format_fig7(run_fig7(base))
+    if name == "fig8":
+        from repro.experiments.fig8 import format_fig8, run_fig8
+
+        return format_fig8(run_fig8(base))
+    if name == "fig9":
+        from repro.experiments.fig9 import format_fig9, run_fig9
+
+        bursts = (1, 8, 32) if quick else (1, 2, 4, 8, 16, 32, 64)
+        return format_fig9(run_fig9(base, bursts_pkts=bursts))
+    if name == "occupancy":
+        from repro.experiments.occupancy import (
+            format_occupancy,
+            run_occupancy_census,
+        )
+
+        return format_occupancy(run_occupancy_census(base))
+    if name == "fattree":
+        from repro.experiments.fattree_exp import (
+            format_fattree,
+            run_fattree_reliability,
+        )
+
+        loads = (0.3,) if quick else (0.3, 0.7)
+        return format_fattree(run_fattree_reliability(base, loads=loads))
+    if name == "ablation":
+        from repro.experiments.ablations import (
+            format_ablations,
+            run_littles_law_check,
+            run_placement_ablation,
+            run_speedup_ablation,
+        )
+
+        speedups = (1.0, 1.3) if quick else (1.0, 1.15, 1.3, 1.5)
+        return format_ablations(
+            run_speedup_ablation(base, speedups=speedups),
+            run_placement_ablation(base),
+            run_littles_law_check(base),
+        )
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--preset",
+        default="tiny",
+        choices=("tiny", "small", "paper"),
+        help="network scale (default: tiny; 'paper' is very slow in Python)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter windows and sparser sweeps",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the preset's RNG seed",
+    )
+    args = parser.parse_args(argv)
+
+    base = preset_by_name(args.preset)
+    if args.quick:
+        base = quicken(base, 0.5)
+    if args.seed is not None:
+        from dataclasses import replace
+
+        base = base.with_(sim=replace(base.sim, seed=args.seed))
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        t0 = time.time()
+        print(f"=== {name} (preset={args.preset}) ===")
+        print(_run_one(name, base, args.quick))
+        print(f"--- {name} done in {time.time() - t0:.1f}s ---\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,383 @@
+"""Network assembly: topology + switches + endpoints + channels + stats.
+
+:class:`Network` is the top-level simulation object and the main public
+entry point of the library:
+
+>>> from repro import Network, tiny_preset
+>>> net = Network(tiny_preset())
+>>> net.add_uniform_traffic(rate=0.3)
+>>> result = net.run_standard()
+>>> result.avg_latency  # doctest: +SKIP
+
+It builds the configured dragonfly (or any supplied topology/router),
+instantiates baseline or stashing switches according to the config, wires
+flit and credit channels with per-link-class latencies, drives the
+measurement phases (warmup / measure / drain), and aggregates statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.endpoints.endpoint import Endpoint
+from repro.engine.channel import Channel, CreditChannel
+from repro.engine.config import NetworkConfig
+from repro.engine.rng import DeterministicRng
+from repro.engine.simulator import Simulator
+from repro.engine.stats import LatencyStats, RateMeter
+from repro.routing import make_dragonfly_router
+from repro.routing.routing import Router
+from repro.routing.single_switch_routing import SingleSwitchRouter
+from repro.switch.damq import DamqMirror
+from repro.switch.flit import Message, Packet
+from repro.switch.stashing_switch import StashingSwitch
+from repro.switch.tiled_switch import TiledSwitch
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.single_switch import SingleSwitchTopology
+from repro.topology.topology import Topology
+
+__all__ = ["Network", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Aggregated results of one standard run."""
+
+    offered_load: float
+    accepted_load: float
+    avg_latency: float
+    p90_latency: float
+    p99_latency: float
+    max_latency: float
+    packets_measured: int
+    group_latency: dict[str, LatencyStats] = field(default_factory=dict)
+
+    def group(self, name: str) -> LatencyStats:
+        return self.group_latency[name]
+
+
+class Network:
+    def __init__(
+        self,
+        config: NetworkConfig,
+        topology: Topology | None = None,
+        router: Router | None = None,
+        routing_mode: str = "par",
+        acks_enabled: bool = True,
+    ) -> None:
+        self.config = config
+        self.rng = DeterministicRng(config.sim.seed)
+        self.acks_enabled = acks_enabled
+        self.error_rate = config.reliability.error_rate
+
+        if topology is None:
+            topology = DragonflyTopology(config.dragonfly, config.switch.num_ports)
+        self.topology = topology
+
+        if router is None:
+            if isinstance(topology, DragonflyTopology):
+                router = make_dragonfly_router(
+                    topology, self.rng.stream("routing"), routing_mode
+                )
+            elif isinstance(topology, SingleSwitchTopology):
+                router = SingleSwitchRouter(topology)
+            else:
+                raise ValueError(
+                    "a router must be supplied for this topology type"
+                )
+        self.router = router
+        if router.num_vcs_required > config.switch.num_vcs:
+            raise ValueError(
+                f"router needs {router.num_vcs_required} VCs, switch has "
+                f"{config.switch.num_vcs}"
+            )
+
+        self._next_pid = 0
+        self._next_msg = 0
+        self.messages: dict[int, Message] = {}
+
+        self.sim = Simulator()
+        self.switches = self._build_switches()
+        self.endpoints = [
+            Endpoint(n, self, self.rng.stream(f"endpoint:{n}"))
+            for n in range(topology.num_nodes)
+        ]
+        self._wire()
+        for ep in self.endpoints:
+            self.sim.add(ep)
+        for sw in self.switches:
+            self.sim.add(sw)
+
+        # statistics
+        self.latency = LatencyStats()
+        self.inflight_latency = LatencyStats()
+        self.group_latency: dict[str, LatencyStats] = {}
+        self._group_nodes: dict[str, frozenset[int]] = {}
+        self.accepted = RateMeter()
+        self.offered = RateMeter()
+        self._meas_start: int | None = None
+        self._meas_end: int | None = None
+        self._meas_born = 0
+        self._meas_delivered = 0
+        self.total_data_packets_delivered = 0
+        self.on_packet_delivered_hooks: list = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _build_switches(self) -> list[TiledSwitch]:
+        cfg = self.config
+        switches: list[TiledSwitch] = []
+        for s in range(self.topology.num_switches):
+            specs = self.topology.switch_ports(s)
+            rng = self.rng.stream(f"switch:{s}")
+            if cfg.stash.enabled:
+                sw: TiledSwitch = StashingSwitch(
+                    s,
+                    cfg.switch,
+                    self.router,
+                    specs,
+                    stash=cfg.stash,
+                    reliability=cfg.reliability,
+                    ecn=cfg.ecn,
+                    alloc_pid=self.alloc_pid,
+                )
+                sw.rng = rng
+            else:
+                sw = TiledSwitch(
+                    s, cfg.switch, self.router, specs,
+                    alloc_pid=self.alloc_pid, ecn=cfg.ecn, rng=rng,
+                )
+            switches.append(sw)
+        return switches
+
+    def _wire(self) -> None:
+        total_vcs = self.switches[0].total_vcs
+        for s, sw in enumerate(self.switches):
+            for spec in self.topology.switch_ports(s):
+                if spec.link_class == "unused":
+                    continue
+                if spec.link_class == "endpoint":
+                    assert spec.peer is not None
+                    _, node = spec.peer
+                    ep = self.endpoints[node]
+                    ip = sw.in_ports[spec.port]
+                    op = sw.out_ports[spec.port]
+                    inj = Channel(spec.latency, f"inj:{node}")
+                    inj_credit = CreditChannel(spec.latency, f"injcr:{node}")
+                    ej = Channel(spec.latency, f"ej:{node}")
+                    ep.flit_out = inj
+                    ip.flit_in = inj
+                    ip.credit_out = inj_credit
+                    ep.credit_in = inj_credit
+                    op.flit_out = ej
+                    ep.flit_in = ej
+                    ep.mirror = DamqMirror(
+                        total_vcs, ip.damq.capacity, ip.damq.space.reserves
+                    )
+                    op.mirror = None  # endpoints always sink
+                    op.retention = 2 * spec.latency + 4
+                else:
+                    assert spec.peer is not None
+                    _, peer, peer_port = spec.peer
+                    if (peer, peer_port) < (s, spec.port):
+                        continue  # wire each link once, from the lower end
+                    self._wire_switch_link(
+                        s, spec.port, peer, peer_port, spec.latency, total_vcs
+                    )
+
+    def _wire_switch_link(
+        self, a: int, pa: int, b: int, pb: int, latency: int, total_vcs: int
+    ) -> None:
+        link = self.config.link
+        for (sx, px), (sy, py) in (((a, pa), (b, pb)), ((b, pb), (a, pa))):
+            out = self.switches[sx].out_ports[px]
+            inp = self.switches[sy].in_ports[py]
+            flit_ch = Channel(latency, f"l:{sx}.{px}->{sy}.{py}")
+            credit_ch = CreditChannel(latency, f"c:{sy}.{py}->{sx}.{px}")
+            out.flit_out = flit_ch
+            inp.flit_in = flit_ch
+            inp.credit_out = credit_ch
+            out.credit_in = credit_ch
+            out.mirror = DamqMirror(
+                total_vcs, inp.damq.capacity, inp.damq.space.reserves
+            )
+            out.retention = 2 * latency + 4
+            if link.enabled:
+                from repro.protocol.link import LinkReceiver, LinkSender
+
+                out.link_tx = LinkSender(
+                    link, self.rng.stream(f"link:{sx}.{px}")
+                )
+                inp.link_rx = LinkReceiver(link)
+
+    # ------------------------------------------------------------------
+    # allocation and delivery callbacks
+    # ------------------------------------------------------------------
+
+    def alloc_pid(self) -> int:
+        self._next_pid += 1
+        return self._next_pid
+
+    def alloc_message(
+        self, src: int, dst: int, size: int, cycle: int, tag: int
+    ) -> Message:
+        self._next_msg += 1
+        msg = Message(self._next_msg, src, dst, size, cycle, tag)
+        self.messages[msg.msg_id] = msg
+        return msg
+
+    def on_generated(self, flits: int) -> None:
+        self.offered.record(flits)
+
+    def on_delivered(self, pkt: Packet, cycle: int) -> None:
+        """A data packet's tail ejected uncorrupted at its destination."""
+        self.total_data_packets_delivered += 1
+        self.accepted.record(pkt.size)
+        if self._meas_start is not None and pkt.birth_cycle >= self._meas_start:
+            if self._meas_end is None or pkt.birth_cycle < self._meas_end:
+                self._record_latency(pkt, cycle)
+        msg = self.messages.get(pkt.msg_id)
+        if msg is not None:
+            msg.packets_delivered += 1
+            if msg.delivered and msg.complete_cycle < 0:
+                msg.complete_cycle = cycle
+                if msg.on_complete is not None:
+                    msg.on_complete(msg, cycle)
+        for hook in self.on_packet_delivered_hooks:
+            hook(pkt, cycle)
+
+    def _record_latency(self, pkt: Packet, cycle: int) -> None:
+        self._meas_delivered += 1
+        latency = cycle - pkt.birth_cycle
+        self.latency.record(latency)
+        if pkt.inject_cycle >= 0:
+            self.inflight_latency.record(cycle - pkt.inject_cycle)
+        src = pkt.src
+        for name, nodes in self._group_nodes.items():
+            if src in nodes:
+                self.group_latency[name].record(latency)
+
+    def on_ack_delivered(self, pkt: Packet, cycle: int) -> None:
+        pass  # hook point; ACK stats are derivable from endpoint counters
+
+    # ------------------------------------------------------------------
+    # traffic helpers
+    # ------------------------------------------------------------------
+
+    def add_source(self, source, nodes=None) -> None:
+        """Attach a traffic source to ``nodes`` (default: all)."""
+        targets = range(len(self.endpoints)) if nodes is None else nodes
+        for n in targets:
+            self.endpoints[n].sources.append(source)
+
+    def add_uniform_traffic(self, rate: float, msg_flits: int | None = None,
+                            nodes=None, start: int = 0, stop: int | None = None):
+        from repro.traffic.generators import BernoulliSource
+        from repro.traffic.patterns import uniform_random
+
+        msg_flits = msg_flits or self.config.switch.max_packet_flits
+        src = BernoulliSource(
+            rate=rate,
+            msg_flits=msg_flits,
+            pattern=uniform_random(self.topology.num_nodes),
+            start=start,
+            stop=stop,
+        )
+        self.add_source(src, nodes)
+        return src
+
+    def track_group(self, name: str, nodes) -> None:
+        """Collect a separate latency distribution for packets sourced by
+        ``nodes`` (e.g. victim vs aggressor traffic)."""
+        self._group_nodes[name] = frozenset(nodes)
+        self.group_latency[name] = LatencyStats()
+
+    # ------------------------------------------------------------------
+    # run control
+    # ------------------------------------------------------------------
+
+    def open_measurement(self) -> None:
+        cycle = self.sim.cycle
+        self._meas_start = cycle
+        self._meas_end = None
+        self.accepted.open_window(cycle)
+        self.offered.open_window(cycle)
+
+    def close_measurement(self) -> None:
+        cycle = self.sim.cycle
+        self._meas_end = cycle
+        self.accepted.close_window(cycle)
+        self.offered.close_window(cycle)
+
+    def run(self, cycles: int) -> None:
+        self.sim.run(cycles)
+
+    def run_standard(self, drain: bool = True) -> RunResult:
+        """Warmup, measure, then (optionally) drain measured packets."""
+        sim_cfg = self.config.sim
+        self.sim.run(sim_cfg.warmup_cycles)
+        self.open_measurement()
+        self.sim.run(sim_cfg.measure_cycles)
+        born = self._meas_born_estimate()
+        self.close_measurement()
+        if drain:
+            self.sim.run_until(
+                lambda: self._meas_delivered >= born or self.quiescent(),
+                sim_cfg.drain_cycles,
+            )
+        return self.result()
+
+    def _meas_born_estimate(self) -> int:
+        # exact count of data packets born in the window is tracked via
+        # messages created in the window
+        start = self._meas_start or 0
+        return sum(
+            m.packets_total
+            for m in self.messages.values()
+            if m.create_cycle >= start and m.src != m.dst
+        )
+
+    def quiescent(self) -> bool:
+        return all(ep.idle for ep in self.endpoints) and all(
+            sw.quiescent for sw in self.switches
+        )
+
+    def drain(self, max_cycles: int | None = None) -> bool:
+        """Run until the whole network is empty (trace replay end)."""
+        limit = max_cycles if max_cycles is not None else self.config.sim.drain_cycles
+        return self.sim.run_until(self.quiescent, limit)
+
+    def result(self) -> RunResult:
+        nodes = max(1, len(self.endpoints))
+        return RunResult(
+            offered_load=_per_node(self.offered.rate(), nodes),
+            accepted_load=_per_node(self.accepted.rate(), nodes),
+            avg_latency=self.latency.mean,
+            p90_latency=self.latency.percentile(90),
+            p99_latency=self.latency.percentile(99),
+            max_latency=self.latency.max,
+            packets_measured=self.latency.count,
+            group_latency=dict(self.group_latency),
+        )
+
+    # -- probes -------------------------------------------------------------
+
+    def stash_utilization(self, switch: int | None = None) -> float:
+        """Fraction of stash capacity in use (one switch or network-wide)."""
+        targets = (
+            [self.switches[switch]] if switch is not None else self.switches
+        )
+        cap = used = 0
+        for sw in targets:
+            if sw.stash_dir is None:
+                continue
+            cap += sw.stash_dir.total_capacity()
+            used += sw.stash_dir.total_committed()
+        return used / cap if cap else 0.0
+
+
+def _per_node(rate: float, nodes: int) -> float:
+    return rate / nodes if not math.isnan(rate) else math.nan

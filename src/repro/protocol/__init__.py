@@ -1,0 +1,8 @@
+"""End-to-end protocols running at the endpoints: ECN transmission
+windows (paper Section IV-B) and packet order enforcement backed by
+stash retransmission (Section IV-C)."""
+
+from repro.protocol.ecn import EcnWindows
+from repro.protocol.ordering import ReorderBuffer
+
+__all__ = ["EcnWindows", "ReorderBuffer"]

@@ -1,0 +1,98 @@
+"""ECN transmission windows (paper Section IV-B).
+
+Each endpoint maintains a separate transmission window for every other
+endpoint and may only inject a packet if its size fits in the window's
+remaining space.  Injection adds the packet's flit count to the
+destination's in-flight total; a returning positive ACK removes it.
+An ACK carrying the ECN bit multiplies the window by ``window_decrease``
+(0.8 in the paper); a recovery timer adds ``recovery_flits`` every
+``recovery_period`` cycles until the window regains its maximum (4096
+flits in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.engine.config import EcnParams
+
+__all__ = ["EcnWindows"]
+
+
+class EcnWindows:
+    """Per-destination window state for one endpoint."""
+
+    __slots__ = (
+        "params",
+        "enabled",
+        "_window",
+        "_in_flight",
+        "_recovering",
+        "ecn_acks",
+        "window_cuts",
+    )
+
+    def __init__(self, params: EcnParams) -> None:
+        self.params = params
+        self.enabled = params.enabled
+        self._window: dict[int, float] = {}
+        self._in_flight: dict[int, int] = {}
+        self._recovering: set[int] = set()
+        self.ecn_acks = 0
+        self.window_cuts = 0
+
+    # ------------------------------------------------------------------
+
+    def window(self, dst: int) -> float:
+        return self._window.get(dst, float(self.params.window_max_flits))
+
+    def in_flight(self, dst: int) -> int:
+        return self._in_flight.get(dst, 0)
+
+    def can_send(self, dst: int, size: int) -> bool:
+        if not self.enabled:
+            return True
+        return self.in_flight(dst) + size <= self.window(dst)
+
+    def on_inject(self, dst: int, size: int) -> None:
+        if not self.enabled:
+            return
+        self._in_flight[dst] = self.in_flight(dst) + size
+
+    def on_ack(self, dst: int, size: int, ecn_marked: bool) -> None:
+        if not self.enabled:
+            return
+        remaining = self.in_flight(dst) - size
+        if remaining < 0:
+            raise RuntimeError(f"ACK underflow for destination {dst}")
+        self._in_flight[dst] = remaining
+        if ecn_marked:
+            self.ecn_acks += 1
+            cut = max(
+                float(self.params.window_min_flits),
+                self.window(dst) * self.params.window_decrease,
+            )
+            if cut < self.window(dst):
+                self.window_cuts += 1
+            self._window[dst] = cut
+            self._recovering.add(dst)
+
+    def tick(self, cycle: int) -> None:
+        """Additive window recovery; call once per cycle."""
+        if not self.enabled or not self._recovering:
+            return
+        if cycle % self.params.recovery_period:
+            return
+        wmax = float(self.params.window_max_flits)
+        done = []
+        for dst in self._recovering:
+            grown = self._window[dst] + self.params.recovery_flits
+            if grown >= wmax:
+                del self._window[dst]
+                done.append(dst)
+            else:
+                self._window[dst] = grown
+        for dst in done:
+            self._recovering.discard(dst)
+
+    @property
+    def throttled_destinations(self) -> int:
+        return len(self._recovering)

@@ -1,0 +1,159 @@
+"""Link-level retransmission (paper Section I/II).
+
+The paper's switches provide "error recovery via link-level
+retransmission": the output buffer holds every transmitted flit until a
+positive acknowledgment returns from the receiving switch, which is why
+it must be sized for one link round trip — the very buffering stashing
+repurposes.  By default the simulator models only the capacity effect
+(space retained for one RTT); enabling :class:`LinkParams` error
+injection activates the full go-back-N protocol:
+
+* every flit carries a link sequence number;
+* the channel corrupts flits with probability ``error_rate``;
+* the receiver accepts only the expected sequence, discards everything
+  after a corruption, and returns a NACK naming the expected sequence;
+* the sender replays its retained window from that sequence (go-back-N);
+* cumulative ACKs release the retained output-buffer space.
+
+The protocol is transparent to the packet layer: per-VC flit order is
+preserved and nothing is delivered twice, which the tests assert under
+aggressive error rates.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.engine.config import LinkParams
+from repro.switch.flit import Flit
+
+__all__ = ["LinkParams", "LinkReceiver", "LinkSender"]
+
+
+class LinkSender:
+    """Sender half: retained window, sequence numbers, replay queue."""
+
+    __slots__ = (
+        "params",
+        "rng",
+        "next_seq",
+        "window",
+        "replay",
+        "flits_replayed",
+        "nacks_received",
+    )
+
+    def __init__(self, params: LinkParams, rng: random.Random) -> None:
+        self.params = params
+        self.rng = rng
+        self.next_seq = 0
+        # (seq, damq_vc, link_vc, flit) retained until cumulative ACK
+        self.window: deque[tuple[int, int, int, Flit]] = deque()
+        self.replay: deque[tuple[int, int, Flit]] = deque()
+        self.flits_replayed = 0
+        self.nacks_received = 0
+
+    def stage_new(self, damq_vc: int, link_vc: int, flit: Flit) -> tuple:
+        """Assign a sequence to a fresh flit and retain it.  Returns the
+        wire tuple ``(seq, link_vc, flit, corrupted)``."""
+        seq = self.next_seq
+        self.next_seq += 1
+        self.window.append((seq, damq_vc, link_vc, flit))
+        return (seq, link_vc, flit, self._corrupt())
+
+    def pop_replay(self) -> tuple | None:
+        """Next replayed flit to transmit, if a replay is pending."""
+        if not self.replay:
+            return None
+        seq, link_vc, flit = self.replay.popleft()
+        self.flits_replayed += 1
+        return (seq, link_vc, flit, self._corrupt())
+
+    def on_ack(self, seq: int) -> list[tuple[int, int]]:
+        """Cumulative ACK: everything <= seq arrived.  Returns the
+        (damq_vc, flits) space-release list for the output buffer."""
+        released: list[tuple[int, int]] = []
+        while self.window and self.window[0][0] <= seq:
+            _, damq_vc, _, _ = self.window.popleft()
+            released.append((damq_vc, 1))
+        return released
+
+    def on_nack(self, expected: int) -> None:
+        """Go-back-N: queue every retained flit from ``expected`` on for
+        replay (clearing any stale replay already queued)."""
+        self.nacks_received += 1
+        self.replay.clear()
+        for seq, _damq_vc, link_vc, flit in self.window:
+            if seq >= expected:
+                self.replay.append((seq, link_vc, flit))
+
+    def _corrupt(self) -> bool:
+        return (
+            self.params.error_rate > 0.0
+            and self.rng.random() < self.params.error_rate
+        )
+
+    @property
+    def retained_flits(self) -> int:
+        return len(self.window)
+
+
+class LinkReceiver:
+    """Receiver half: in-order acceptance, NACK generation, ACK cadence."""
+
+    __slots__ = (
+        "params",
+        "expected",
+        "nack_outstanding",
+        "_since_ack",
+        "flits_accepted",
+        "flits_discarded",
+        "nacks_sent",
+    )
+
+    def __init__(self, params: LinkParams) -> None:
+        self.params = params
+        self.expected = 0
+        self.nack_outstanding = False
+        self._since_ack = 0
+        self.flits_accepted = 0
+        self.flits_discarded = 0
+        self.nacks_sent = 0
+
+    def receive(
+        self, seq: int, corrupted: bool, tail: bool = False
+    ) -> tuple[bool, list[tuple]]:
+        """Process one arriving flit.  Returns ``(accept, control)``:
+        ``accept`` says whether the flit enters the input buffer;
+        ``control`` lists ('ack'|'nack', seq) messages to send back.
+        ``tail`` flushes the cumulative ACK immediately — the last flit
+        on a link is always some packet's tail, so stragglers are never
+        left unacknowledged (which would retain sender window space
+        forever)."""
+        control: list[tuple] = []
+        if corrupted and seq == self.expected:
+            # the awaited flit itself was corrupted (possibly a replay
+            # that failed again): always re-request, or the sender would
+            # finish its replay with the receiver still waiting
+            self.flits_discarded += 1
+            self.nack_outstanding = True
+            self.nacks_sent += 1
+            control.append(("nack", self.expected))
+            return False, control
+        if corrupted or seq != self.expected:
+            self.flits_discarded += 1
+            if not self.nack_outstanding:
+                self.nack_outstanding = True
+                self.nacks_sent += 1
+                control.append(("nack", self.expected))
+            return False, control
+        # in sequence and clean
+        self.expected = seq + 1
+        self.nack_outstanding = False
+        self.flits_accepted += 1
+        self._since_ack += 1
+        if tail or self._since_ack >= self.params.ack_interval:
+            self._since_ack = 0
+            control.append(("ack", seq))
+        return True, control

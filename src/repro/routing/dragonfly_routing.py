@@ -1,0 +1,181 @@
+"""Dragonfly routing: minimal, Valiant, and progressive adaptive (PAR).
+
+PAR (Garcia et al., the paper's choice) routes minimally by default but
+may divert to a Valiant intermediate group while the packet is still in
+its source group, re-evaluating at each source-group switch: the packet
+diverts when the minimal output's queue looks worse than twice the
+non-minimal candidate's (the factor 2 reflects the roughly doubled path
+length).  Once a global channel is taken the decision is committed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.routing.routing import Router, RoutingContext, VcLadder
+from repro.switch.flit import Packet
+from repro.topology.dragonfly import DragonflyTopology
+
+__all__ = [
+    "DragonflyMinimalRouter",
+    "DragonflyParRouter",
+    "DragonflyValiantRouter",
+    "make_dragonfly_router",
+]
+
+
+class _DragonflyRouterBase(Router):
+    num_vcs_required = 6
+
+    def __init__(self, topo: DragonflyTopology) -> None:
+        self.topo = topo
+        self.ladder = VcLadder("LLGLGL")
+
+    def _hop(self, packet: Packet, out_port: int, switch: int) -> tuple[int, int]:
+        """Assign the ladder VC for a switch-to-switch hop and update the
+        packet's ladder pointer."""
+        cls = self.topo.port_class(switch, out_port)
+        hop_type = "G" if cls == "global" else "L"
+        vc, packet.route_ptr = self.ladder.next_vc(packet.route_ptr, hop_type)
+        if cls == "global":
+            packet.route_committed = True
+        return out_port, vc
+
+    def _minimal(self, ctx: RoutingContext, packet: Packet) -> tuple[int, int]:
+        s = ctx.switch_id
+        topo = self.topo
+        dst_switch = topo.node_switch(packet.dst)
+        if s == dst_switch:
+            return topo.eject_port(s, packet.dst), packet.vc
+        if topo.group_of(s) == topo.group_of(dst_switch):
+            return self._hop(packet, topo.local_port(s, dst_switch), s)
+        out = topo.route_to_group(s, topo.group_of(dst_switch))
+        return self._hop(packet, out, s)
+
+
+class DragonflyMinimalRouter(_DragonflyRouterBase):
+    """MIN: always the direct l-g-l path."""
+
+    def route(self, ctx: RoutingContext, in_port: int, packet: Packet) -> tuple[int, int]:
+        return self._minimal(ctx, packet)
+
+
+class _ValiantMixin(_DragonflyRouterBase):
+    def __init__(self, topo: DragonflyTopology, rng: random.Random) -> None:
+        super().__init__(topo)
+        self.rng = rng
+
+    def _pick_mid_group(self, src_group: int, dst_group: int) -> int:
+        g = self.topo.g
+        choices = g - 2  # exclude source and destination groups
+        if choices <= 0:
+            return dst_group  # two-group network: Valiant degenerates to MIN
+        pick = self.rng.randrange(choices)
+        for grp in range(g):
+            if grp in (src_group, dst_group):
+                continue
+            if pick == 0:
+                return grp
+            pick -= 1
+        raise AssertionError("unreachable")
+
+    def _toward_group(
+        self, ctx: RoutingContext, packet: Packet, group: int
+    ) -> tuple[int, int]:
+        s = ctx.switch_id
+        return self._hop(packet, self.topo.route_to_group(s, group), s)
+
+
+class DragonflyValiantRouter(_ValiantMixin):
+    """VAL: always through a random intermediate group (uniform load)."""
+
+    def route(self, ctx: RoutingContext, in_port: int, packet: Packet) -> tuple[int, int]:
+        topo = self.topo
+        s = ctx.switch_id
+        dst_group = topo.group_of(topo.node_switch(packet.dst))
+        here = topo.group_of(s)
+        if packet.mid_group == -1 and not packet.route_committed:
+            src_group = here
+            if src_group == dst_group:
+                return self._minimal(ctx, packet)
+            packet.nonminimal = True
+            packet.mid_group = self._pick_mid_group(src_group, dst_group)
+        if packet.mid_group >= 0 and here == packet.mid_group:
+            packet.mid_group = -2  # intermediate group reached; go minimal
+        if packet.mid_group >= 0 and here != dst_group:
+            return self._toward_group(ctx, packet, packet.mid_group)
+        return self._minimal(ctx, packet)
+
+
+class DragonflyParRouter(_ValiantMixin):
+    """PAR6/2: progressive adaptive routing with six VCs (paper Section V).
+
+    ``bias`` is the path-length penalty applied to the non-minimal
+    candidate; ``threshold`` (flits) suppresses diversion under light
+    load.
+    """
+
+    def __init__(
+        self,
+        topo: DragonflyTopology,
+        rng: random.Random,
+        bias: int = 2,
+        threshold: int = 4,
+    ) -> None:
+        super().__init__(topo, rng)
+        self.bias = bias
+        self.threshold = threshold
+        self.diversions = 0
+
+    def route(self, ctx: RoutingContext, in_port: int, packet: Packet) -> tuple[int, int]:
+        topo = self.topo
+        s = ctx.switch_id
+        dst_switch = topo.node_switch(packet.dst)
+        dst_group = topo.group_of(dst_switch)
+        here = topo.group_of(s)
+
+        if packet.nonminimal and packet.mid_group >= 0 and here == packet.mid_group:
+            packet.mid_group = -2  # reached the intermediate group
+
+        if packet.route_committed or here == dst_group:
+            if packet.nonminimal and packet.mid_group >= 0 and here != dst_group:
+                return self._toward_group(ctx, packet, packet.mid_group)
+            return self._minimal(ctx, packet)
+
+        if packet.nonminimal:
+            return self._toward_group(ctx, packet, packet.mid_group)
+
+        # Uncommitted, minimal, still in the source group: evaluate the
+        # adaptive decision, but only while the ladder still has a local
+        # hop available before the first global (positions 0 and 1).
+        if here == dst_group or packet.route_ptr > 1:
+            return self._minimal(ctx, packet)
+        if topo.g < 3:
+            return self._minimal(ctx, packet)
+
+        min_port = topo.route_to_group(s, dst_group)
+        mid_group = self._pick_mid_group(here, dst_group)
+        nonmin_port = topo.route_to_group(s, mid_group)
+        if nonmin_port == min_port:
+            return self._minimal(ctx, packet)
+        q_min = ctx.output_congestion(min_port)
+        q_nonmin = ctx.output_congestion(nonmin_port)
+        if q_min > self.bias * q_nonmin + self.threshold:
+            self.diversions += 1
+            packet.nonminimal = True
+            packet.mid_group = mid_group
+            return self._hop(packet, nonmin_port, s)
+        return self._hop(packet, min_port, s)
+
+
+def make_dragonfly_router(
+    topo: DragonflyTopology, rng: random.Random, mode: str = "par"
+) -> _DragonflyRouterBase:
+    """Factory: ``mode`` in {"min", "val", "par"}."""
+    if mode == "min":
+        return DragonflyMinimalRouter(topo)
+    if mode == "val":
+        return DragonflyValiantRouter(topo, rng)
+    if mode == "par":
+        return DragonflyParRouter(topo, rng)
+    raise ValueError(f"unknown dragonfly routing mode {mode!r}")

@@ -1,0 +1,46 @@
+"""Fat-tree routing: adaptive up, deterministic down.
+
+Up/down routing in a two-level tree is acyclic, so two VCs (0 up, 1
+down) are more than deadlock-safe; the uplink is chosen adaptively by
+least congestion with a round-robin tie-break seeded per packet.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.routing.routing import Router, RoutingContext
+from repro.switch.flit import Packet
+from repro.topology.fattree import FatTreeTopology
+
+__all__ = ["FatTreeRouter"]
+
+
+class FatTreeRouter(Router):
+    num_vcs_required = 2
+
+    def __init__(self, topo: FatTreeTopology, rng: random.Random) -> None:
+        self.topo = topo
+        self.rng = rng
+
+    def route(self, ctx: RoutingContext, in_port: int, packet: Packet) -> tuple[int, int]:
+        topo = self.topo
+        s = ctx.switch_id
+        dst_switch = topo.node_switch(packet.dst)
+        if topo.is_leaf(s):
+            if s == dst_switch:
+                return topo.node_port(packet.dst), packet.vc
+            # adaptive uplink: least congested, random tie-break
+            start = self.rng.randrange(topo.num_spines)
+            best_port = -1
+            best_q = None
+            for k in range(topo.num_spines):
+                spine = (start + k) % topo.num_spines
+                port = topo.uplink_port(s, spine)
+                q = ctx.output_congestion(port)
+                if best_q is None or q < best_q:
+                    best_q = q
+                    best_port = port
+            return best_port, 0
+        # spine: deterministic downlink, VC 1
+        return topo.downlink_port(s, dst_switch), 1

@@ -1,0 +1,19 @@
+"""Trivial routing for the single-switch testbench: eject everywhere."""
+
+from __future__ import annotations
+
+from repro.routing.routing import Router, RoutingContext
+from repro.switch.flit import Packet
+from repro.topology.single_switch import SingleSwitchTopology
+
+__all__ = ["SingleSwitchRouter"]
+
+
+class SingleSwitchRouter(Router):
+    num_vcs_required = 1
+
+    def __init__(self, topo: SingleSwitchTopology) -> None:
+        self.topo = topo
+
+    def route(self, ctx: RoutingContext, in_port: int, packet: Packet) -> tuple[int, int]:
+        return self.topo.node_port(packet.dst), packet.vc

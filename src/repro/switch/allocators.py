@@ -1,0 +1,60 @@
+"""Crossbar allocators.
+
+The paper's tile crossbars use a *separable output-first* allocator (Becker
+& Dally) with equal priority for all VCs, including the stashing S and R
+VCs (Section V).  Separable output-first means: each crossbar output
+round-robins over the (input, VC) pairs requesting it; then each input
+round-robins over the outputs that granted it; surviving grants win.
+"""
+
+from __future__ import annotations
+
+from repro.switch.arbiters import RoundRobinArbiter
+
+__all__ = ["SeparableOutputFirstAllocator"]
+
+
+class SeparableOutputFirstAllocator:
+    """Matches (input, vc) requests to crossbar outputs, one winner per
+    input and per output per invocation."""
+
+    def __init__(self, num_inputs: int, num_vcs: int, num_outputs: int) -> None:
+        self.num_inputs = num_inputs
+        self.num_vcs = num_vcs
+        self.num_outputs = num_outputs
+        # stage 1: one arbiter per output over (input, vc) request slots
+        self._out_arbiters = [
+            RoundRobinArbiter(num_inputs * num_vcs) for _ in range(num_outputs)
+        ]
+        # stage 2: one arbiter per input over outputs that granted it
+        self._in_arbiters = [RoundRobinArbiter(num_outputs) for _ in range(num_inputs)]
+
+    def allocate(
+        self, requests: list[tuple[int, int, int]]
+    ) -> list[tuple[int, int, int]]:
+        """``requests`` is a list of (input, vc, output) triples; returns
+        the accepted subset (at most one per input, one per output)."""
+        if not requests:
+            return []
+        num_vcs = self.num_vcs
+
+        by_output: dict[int, list[tuple[int, int]]] = {}
+        for inp, vc, out in requests:
+            by_output.setdefault(out, []).append((inp, vc))
+
+        # Stage 1: each output grants one (input, vc).
+        grants_by_input: dict[int, list[tuple[int, int]]] = {}
+        for out, cands in by_output.items():
+            slots = [inp * num_vcs + vc for inp, vc in cands]
+            winner_slot = self._out_arbiters[out].pick(slots)
+            winner_inp, winner_vc = divmod(winner_slot, num_vcs)
+            grants_by_input.setdefault(winner_inp, []).append((out, winner_vc))
+
+        # Stage 2: each input accepts one grant.
+        accepted: list[tuple[int, int, int]] = []
+        for inp, grants in grants_by_input.items():
+            outs = [out for out, _vc in grants]
+            winner_out = self._in_arbiters[inp].pick(outs)
+            winner_vc = next(vc for out, vc in grants if out == winner_out)
+            accepted.append((inp, winner_vc, winner_out))
+        return accepted

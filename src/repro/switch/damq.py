@@ -1,0 +1,224 @@
+"""Dynamically Allocated Multi-Queue (DAMQ) buffers and credit mirrors.
+
+The paper's ports share one physical memory among six network VCs using a
+DAMQ (Tamir & Frazier), and the stashing switch carves a stash partition
+out of the same memory (Section III-B/C).  This module implements the
+*normal* partition: per-VC FIFOs drawing on a shared flit pool, with a
+per-VC private reserve that guarantees every VC can always land one full
+packet (forward progress / deadlock safety).
+
+Flow-control discipline
+-----------------------
+Credits are **flit-granular**, as in BookSim: a flit (head or body) may
+advance into a downstream buffer whenever at least one slot is available
+to its VC (tracked upstream through a :class:`DamqMirror`); credits
+return one per flit as flits *leave* the downstream buffer.  Wormhole
+packets therefore trickle through minimal free space, and the per-VC
+private reserves needed for deadlock freedom are one or two flits rather
+than whole packets, keeping the shared pool — and thus the queueing depth
+available before head-of-line blocking — large.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.switch.flit import Flit
+
+__all__ = ["Damq", "DamqMirror", "VcSpaceAccounting"]
+
+
+class VcSpaceAccounting:
+    """Shared-pool space accounting with per-VC private reserves.
+
+    ``capacity`` flits total; VC ``v`` owns ``reserves[v]`` private
+    flits; the remainder is shared.  A VC's occupancy consumes its
+    private reserve first, then shared space.
+
+    The per-VC reserves are not an optimization — they are the deadlock
+    guarantee.  With a fully shared pool, packets of one VC can consume
+    all buffering and starve the higher (escape) VCs whose progress
+    would eventually free them, closing a cycle; a private reserve of
+    one maximum packet per *usable* VC restores the strictly-increasing
+    VC ladder argument (each VC's packets can always land downstream
+    once the current occupant of the private slot advances, by induction
+    from the always-sinking ejection ports).  Real DAMQ designs reserve
+    per-VC minimums for exactly this reason.
+    """
+
+    __slots__ = (
+        "num_vcs",
+        "capacity",
+        "reserves",
+        "committed",
+        "_shared_used",
+        "shared_capacity",
+    )
+
+    def __init__(
+        self, num_vcs: int, capacity: int, reserve: "int | list[int]"
+    ) -> None:
+        if num_vcs < 1:
+            raise ValueError("need at least one VC")
+        if isinstance(reserve, int):
+            reserves = [reserve] * num_vcs
+        else:
+            reserves = list(reserve)
+            if len(reserves) != num_vcs:
+                raise ValueError("one reserve entry required per VC")
+        if any(r < 0 for r in reserves):
+            raise ValueError("reserves must be non-negative")
+        if capacity < sum(reserves):
+            raise ValueError(
+                f"capacity {capacity} cannot cover VC reserves {reserves}"
+            )
+        self.num_vcs = num_vcs
+        self.capacity = capacity
+        self.reserves = reserves
+        self.committed = [0] * num_vcs
+        self._shared_used = 0
+        self.shared_capacity = capacity - sum(reserves)
+
+    @property
+    def total_committed(self) -> int:
+        return sum(self.committed)
+
+    def can_admit(self, vc: int, flits: int) -> bool:
+        private_free = self.reserves[vc] - self.committed[vc]
+        if private_free >= flits:
+            return True
+        if private_free > 0:
+            flits -= private_free
+        return flits <= self.shared_capacity - self._shared_used
+
+    def admit(self, vc: int, flits: int) -> None:
+        if not self.can_admit(vc, flits):
+            raise RuntimeError(
+                f"admit({vc}, {flits}) without space: occ={self.committed[vc]}, "
+                f"shared={self._shared_used}/{self.shared_capacity}"
+            )
+        occ = self.committed[vc]
+        reserve = self.reserves[vc]
+        new_occ = occ + flits
+        over_new = new_occ - reserve
+        over_old = occ - reserve
+        self.committed[vc] = new_occ
+        self._shared_used += (over_new if over_new > 0 else 0) - (
+            over_old if over_old > 0 else 0
+        )
+
+    def release(self, vc: int, flits: int = 1) -> None:
+        occ = self.committed[vc]
+        if flits > occ:
+            raise RuntimeError(f"release({vc}, {flits}) exceeds occupancy {occ}")
+        over = occ - self.reserves[vc]
+        if over > 0:
+            self._shared_used -= over if over < flits else flits
+        self.committed[vc] = occ - flits
+
+    def occupancy_fraction(self) -> float:
+        return self.total_committed / self.capacity if self.capacity else 0.0
+
+
+class Damq:
+    """A real DAMQ buffer: per-VC flit FIFOs over shared-pool accounting.
+
+    ``admit_flit`` + ``push`` file one arriving flit (space is guaranteed
+    by the sender's mirror); ``pop`` releases one flit of space, and the
+    caller is responsible for sending the corresponding credit upstream.
+    """
+
+    __slots__ = ("space", "queues", "flit_count")
+
+    def __init__(
+        self, num_vcs: int, capacity: int, reserve: "int | list[int]"
+    ) -> None:
+        self.space = VcSpaceAccounting(num_vcs, capacity, reserve)
+        self.queues: list[deque[Flit]] = [deque() for _ in range(num_vcs)]
+        self.flit_count = 0  # fast emptiness check for the cycle loop
+
+    @property
+    def num_vcs(self) -> int:
+        return self.space.num_vcs
+
+    @property
+    def capacity(self) -> int:
+        return self.space.capacity
+
+    def can_admit(self, vc: int, flits: int = 1) -> bool:
+        return self.space.can_admit(vc, flits)
+
+    def admit_flit(self, vc: int) -> None:
+        self.space.admit(vc, 1)
+
+    def push(self, vc: int, flit: Flit) -> None:
+        self.queues[vc].append(flit)
+        self.flit_count += 1
+
+    def front(self, vc: int) -> Flit | None:
+        q = self.queues[vc]
+        return q[0] if q else None
+
+    def pop(self, vc: int) -> Flit:
+        flit = self.queues[vc].popleft()
+        self.flit_count -= 1
+        self.space.release(vc, 1)
+        return flit
+
+    def pop_no_release(self, vc: int) -> Flit:
+        """Pop a flit but keep its space committed.  Used by output
+        buffers, which retain transmitted flits until the link-level
+        acknowledgment round trip completes (Section II); the caller
+        releases via ``space.release`` when the retention expires."""
+        self.flit_count -= 1
+        return self.queues[vc].popleft()
+
+    def vc_flits(self, vc: int) -> int:
+        return len(self.queues[vc])
+
+    @property
+    def total_flits(self) -> int:
+        return self.flit_count
+
+    @property
+    def total_committed(self) -> int:
+        return self.space.total_committed
+
+    def occupancy_fraction(self) -> float:
+        """Committed occupancy over capacity (drives ECN detection)."""
+        return self.space.occupancy_fraction()
+
+    @property
+    def empty(self) -> bool:
+        return self.total_flits == 0 and self.space.total_committed == 0
+
+
+class DamqMirror:
+    """Upstream credit-side mirror of a downstream :class:`Damq`.
+
+    Debits one flit per flit sent (`debit_flit`), credits one flit per
+    returning credit (`credit`).  Because both sides use the same
+    :class:`VcSpaceAccounting` rules, the mirror is always a conservative
+    image of the downstream buffer (it leads arrivals and lags pops by
+    one link latency each way).
+    """
+
+    __slots__ = ("space",)
+
+    def __init__(
+        self, num_vcs: int, capacity: int, reserve: "int | list[int]"
+    ) -> None:
+        self.space = VcSpaceAccounting(num_vcs, capacity, reserve)
+
+    def can_send_flit(self, vc: int) -> bool:
+        return self.space.can_admit(vc, 1)
+
+    def debit_flit(self, vc: int) -> None:
+        self.space.admit(vc, 1)
+
+    def credit(self, vc: int, flits: int = 1) -> None:
+        self.space.release(vc, flits)
+
+    @property
+    def in_flight(self) -> int:
+        return self.space.total_committed

@@ -1,0 +1,205 @@
+"""One tile of the tiled switch: row buffers + I x O crossbar (Figure 2).
+
+Each tile at (row r, column c) receives flits from the I switch inputs of
+row r over their multi-drop row buses, buffers them per (input slot, VC),
+and arbitrates them through its crossbar onto the O column channels of
+column c using a separable output-first allocator with equal priority
+across all VCs, including the stashing S and R VCs (paper Section V).
+
+Per-VC packet streams lock a tile output from head to tail (flits of one
+VC must not interleave between packets on a column channel), while
+different VCs interleave freely cycle by cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.core.stash import StashJob
+from repro.switch.allocators import SeparableOutputFirstAllocator
+from repro.switch.arbiters import VcStreamLock
+from repro.switch.flit import Flit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.switch.tiled_switch import TiledSwitch
+
+__all__ = ["Tile"]
+
+
+class Tile:
+    __slots__ = (
+        "sw",
+        "row",
+        "col",
+        "num_slots",
+        "num_outputs",
+        "num_vcs",
+        "queues",
+        "jobs",
+        "streams",
+        "locks",
+        "col_credits",
+        "allocator",
+        "flits_switched",
+        "flit_count",
+    )
+
+    def __init__(self, sw: "TiledSwitch", row: int, col: int) -> None:
+        cfg = sw.cfg
+        self.sw = sw
+        self.row = row
+        self.col = col
+        self.num_slots = cfg.tile_inputs
+        self.num_outputs = cfg.tile_outputs
+        self.num_vcs = sw.total_vcs
+        # row buffers: per (input slot, vc); capacity is enforced by the
+        # feeding input port's credit counters
+        self.queues: list[list[deque[Flit]]] = [
+            [deque() for _ in range(self.num_vcs)] for _ in range(self.num_slots)
+        ]
+        # S-path transit metadata parallel to the S queues (one per slot)
+        self.jobs: list[deque[StashJob]] = [deque() for _ in range(self.num_slots)]
+        # active packet stream per (slot, vc): target tile output
+        self.streams: list[list[int | None]] = [
+            [None] * self.num_vcs for _ in range(self.num_slots)
+        ]
+        self.locks = [VcStreamLock(self.num_vcs) for _ in range(self.num_outputs)]
+        # credits into the column buffers of this tile's row at each of
+        # the column's output ports, per VC
+        self.col_credits = [
+            [cfg.col_buffer_flits] * self.num_vcs for _ in range(self.num_outputs)
+        ]
+        self.allocator = SeparableOutputFirstAllocator(
+            self.num_slots, self.num_vcs, self.num_outputs
+        )
+        self.flits_switched = 0
+        self.flit_count = 0
+
+    # ------------------------------------------------------------------
+
+    def receive(self, slot: int, vc: int, flit: Flit, job: StashJob | None) -> None:
+        """Latch a flit off the row bus into the (slot, vc) row buffer."""
+        self.queues[slot][vc].append(flit)
+        self.flit_count += 1
+        if vc == self.sw.S_VC:
+            assert job is not None
+            self.jobs[slot].append(job)
+
+    def occupancy(self) -> int:
+        return self.flit_count
+
+    # ------------------------------------------------------------------
+
+    def crossbar_pass(self) -> None:
+        """One internal cycle of crossbar allocation: at most one flit per
+        tile input and per tile output advances onto a column channel."""
+        if not self.flit_count:
+            return
+        sw = self.sw
+        S_VC, R_VC = sw.S_VC, sw.R_VC
+        requests: list[tuple[int, int, int]] = []
+        head_targets: dict[tuple[int, int], int] = {}
+
+        for slot in range(self.num_slots):
+            slot_queues = self.queues[slot]
+            slot_streams = self.streams[slot]
+            for vc in range(self.num_vcs):
+                q = slot_queues[vc]
+                if not q:
+                    continue
+                target = slot_streams[vc]
+                if target is not None:
+                    if self.col_credits[target][vc] >= 1:
+                        requests.append((slot, vc, target))
+                    continue
+                flit = q[0]
+                if not flit.head:
+                    raise AssertionError(
+                        f"non-head flit {flit!r} at stream start in tile "
+                        f"({self.row},{self.col}) slot {slot} vc {vc}"
+                    )
+                pkt = flit.pkt
+                if vc == S_VC:
+                    out = self._pick_stash_output(slot, pkt.size)
+                elif vc == R_VC:
+                    out = pkt.intended_out_port % self.num_outputs
+                    if not self._head_ok(out, vc, slot, pkt.size):
+                        out = None
+                else:
+                    out = pkt.out_port % self.num_outputs
+                    if not self._head_ok(out, vc, slot, pkt.size):
+                        out = None
+                if out is not None:
+                    requests.append((slot, vc, out))
+                    head_targets[(slot, vc)] = out
+
+        if not requests:
+            return
+        for slot, vc, out in self.allocator.allocate(requests):
+            self._advance(slot, vc, out, is_head=(slot, vc) in head_targets)
+
+    def _head_ok(self, out: int, vc: int, slot: int, size: int) -> bool:
+        return (
+            self.col_credits[out][vc] >= 1
+            and self.locks[out].available_to(vc, slot)
+        )
+
+    def _pick_stash_output(self, slot: int, size: int) -> int | None:
+        """Join-shortest-queue within the column: the output port whose
+        stash partition has the most free space, among ports whose S
+        column buffer can take the whole packet (Section III-A)."""
+        sw = self.sw
+        directory = sw.stash_dir
+        assert directory is not None
+        S_VC = sw.S_VC
+        random_pick = sw.stash_placement == "random"
+        eligible: list[int] = []
+        best: int | None = None
+        best_free = -1
+        for port in directory.ports_in_column(self.col):
+            out = port % self.num_outputs
+            if self.col_credits[out][S_VC] < 1:
+                continue
+            if not self.locks[out].available_to(S_VC, slot):
+                continue
+            partition = sw.out_ports[port].partition
+            if not partition.can_admit(size):
+                continue
+            if random_pick:
+                eligible.append(out)
+            else:
+                free = partition.free_flits()
+                if free > best_free:
+                    best, best_free = out, free
+        if random_pick:
+            return sw.rng.choice(eligible) if eligible else None
+        return best
+
+    def _advance(self, slot: int, vc: int, out: int, is_head: bool) -> None:
+        sw = self.sw
+        flit = self.queues[slot][vc].popleft()
+        self.flit_count -= 1
+        pkt = flit.pkt
+        job: StashJob | None = None
+        if vc == sw.S_VC:
+            job = self.jobs[slot].popleft()
+        if is_head:
+            self.locks[out].acquire(vc, slot)
+            self.streams[slot][vc] = out
+            if vc == sw.S_VC:
+                # reserve partition space now so the S column buffer can
+                # always drain into the partition (feed-forward S path)
+                port = self.col * self.num_outputs + out
+                sw.out_ports[port].partition.commit(pkt.size)
+        self.col_credits[out][vc] -= 1
+        if flit.tail:
+            self.locks[out].release(vc, slot)
+            self.streams[slot][vc] = None
+        # column channel: point-to-point into this row's column buffer at
+        # the output port
+        port = self.col * self.num_outputs + out
+        sw.out_ports[port].receive_column(self.row, vc, flit, job)
+        # row-buffer space freed: return credit to the feeding input port
+        sw.in_ports[self.row * self.num_slots + slot].row_credits[self.col][vc] += 1
+        self.flits_switched += 1

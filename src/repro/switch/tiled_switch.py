@@ -1,0 +1,277 @@
+"""The baseline tiled switch (paper Section II).
+
+One switch = P input ports, P output ports, and an R x C array of tiles.
+Stage order within a cycle is downstream-first so every flit advances at
+most one pipeline stage per internal cycle:
+
+1. link egress (channel clock: one flit per output per cycle);
+2. ``speedup`` internal passes (bandwidth-token accumulator models the
+   paper's 1.3x core overclock): output mux, S-VC drain, tile crossbars,
+   row buses;
+3. link ingress and credit application.
+
+The stashing extension (Section III) is hosted here behind ``stash_dir``
+/ ``trackers`` hooks that are inert on the baseline;
+:class:`repro.switch.stashing_switch.StashingSwitch` activates them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.engine.config import EcnParams, SwitchParams
+from repro.routing.routing import Router
+from repro.switch.flit import Packet
+from repro.switch.port import InputPort, OutputPort
+from repro.switch.tile import Tile
+from repro.topology.topology import PortSpec
+
+__all__ = ["TiledSwitch"]
+
+
+class TiledSwitch:
+    """Baseline tiled switch; also the shared datapath for stashing."""
+
+    def __init__(
+        self,
+        switch_id: int,
+        cfg: SwitchParams,
+        router: Router,
+        port_specs: list[PortSpec],
+        alloc_pid: Callable[[], int] | None = None,
+        ecn: EcnParams | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if len(port_specs) != cfg.num_ports:
+            raise ValueError(
+                f"switch {switch_id}: {len(port_specs)} port specs for "
+                f"{cfg.num_ports} ports"
+            )
+        self.switch_id = switch_id
+        self.cfg = cfg
+        self.router = router
+        self.port_specs = port_specs
+        self.alloc_pid = alloc_pid or _default_pid_counter()
+        self.rng = rng or random.Random(switch_id * 7919 + 1)
+        self.stash_placement = "jsq"
+
+        # VC plan: data VCs [0, V), storage VC V, retrieval VC V+1
+        self.num_data_vcs = cfg.num_vcs
+        self.S_VC = cfg.num_vcs
+        self.R_VC = cfg.num_vcs + 1
+        self.total_vcs = cfg.num_vcs + 2
+
+        self.end_port_set = {
+            s.port for s in port_specs if s.link_class == "endpoint"
+        }
+        ecn = ecn or EcnParams()
+        self.ecn_on = ecn.enabled
+        self.ecn_threshold = ecn.congestion_threshold
+        self.congestion_stash_on = ecn.stash_on_congestion
+        self.reliability_on = False
+
+        # stashing hooks: inert on the baseline
+        self.stash_dir = None
+        self.sideband = None
+        self.trackers = None
+
+        self.inflight = 0
+        self._tokens = 0.0
+
+        self.in_ports = [
+            InputPort(
+                self, i, self._input_normal_capacity(i), self._input_reserves(i)
+            )
+            for i in range(cfg.num_ports)
+        ]
+        self.out_ports = [
+            OutputPort(
+                self, i, self._output_normal_capacity(i),
+                self._output_reserves(i),
+            )
+            for i in range(cfg.num_ports)
+        ]
+        self.tiles = [
+            [Tile(self, r, c) for c in range(cfg.cols)] for r in range(cfg.rows)
+        ]
+        self._active_in = [
+            self.in_ports[s.port] for s in port_specs if s.link_class != "unused"
+        ]
+        self._active_out = [
+            self.out_ports[s.port] for s in port_specs if s.link_class != "unused"
+        ]
+        self._flat_tiles = [t for row in self.tiles for t in row]
+
+    # -- buffer partitioning (overridden by the stashing switch) --------
+
+    def _input_normal_capacity(self, port: int) -> int:
+        return self.cfg.input_buffer_flits
+
+    def _output_normal_capacity(self, port: int) -> int:
+        return self.cfg.output_buffer_flits
+
+    # -- per-VC private reserves (deadlock avoidance; see damq.py) -------
+
+    def _input_reserves(self, port: int) -> list[int]:
+        """Private space for the VCs that need an escape guarantee.
+
+        VC 0 is the bottom of the ladder: nothing below it ever waits on
+        it, so once the reserved VCs drain (by induction from the
+        always-sinking ejection ports) the shared pool frees and VC 0
+        proceeds — it needs no reserve of its own, which keeps the
+        shared pool (and thus queueing depth before HoL blocking) large.
+
+        Endpoint ports carry only the two injection VCs: data on 0, ACKs
+        on 1.  The ACK VC gets a one-flit reserve (ACKs are single-flit)
+        so a stash-stalled data queue can never starve the ACKs whose
+        return frees the remote stash.  Transit ports reserve two flits
+        for each ladder VC above 0 — with flit-granular credits a single
+        guaranteed slot is enough for escape progress (packets trickle
+        through it); the second is slack.  The S and R VCs never arrive
+        over a link."""
+        reserves = [0] * self.total_vcs
+        cls = self.port_specs[port].link_class
+        if cls == "endpoint":
+            reserves[1] = 1  # single-flit ACKs
+        elif cls in ("local", "global"):
+            for vc in range(1, self.num_data_vcs):
+                reserves[vc] = 2
+        capacity = self._input_normal_capacity(port)
+        if cls != "unused" and sum(reserves) > capacity:
+            raise ValueError(
+                f"switch {self.switch_id} port {port} ({cls}): normal input "
+                f"partition of {capacity} flits cannot hold the per-VC "
+                f"deadlock reserves {sum(reserves)}; enlarge the buffer or "
+                f"shrink the stash fraction"
+            )
+        return reserves
+
+    def _output_reserves(self, port: int) -> list[int]:
+        """Transit output buffers reserve for the same escape VCs as
+        inputs; ejection output buffers drain unconditionally (endpoints
+        always sink) and need none."""
+        reserves = [0] * self.total_vcs
+        cls = self.port_specs[port].link_class
+        if cls in ("local", "global"):
+            for vc in range(1, self.num_data_vcs):
+                reserves[vc] = 2
+        capacity = self._output_normal_capacity(port)
+        if cls != "unused" and sum(reserves) > capacity:
+            raise ValueError(
+                f"switch {self.switch_id} port {port} ({cls}): normal output "
+                f"partition of {capacity} flits cannot hold the per-VC "
+                f"deadlock reserves {sum(reserves)}"
+            )
+        return reserves
+
+    # -- cycle loop ------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        if self._idle():
+            return
+        for op in self._active_out:
+            op.egress(cycle)
+
+        self._tokens += self.cfg.speedup
+        passes = int(self._tokens)
+        self._tokens -= passes
+        stashing = self.stash_dir is not None
+        for _ in range(passes):
+            for op in self._active_out:
+                op.mux_pass()
+                if stashing:
+                    op.stash_drain_pass(cycle)
+            for tile in self._flat_tiles:
+                tile.crossbar_pass()
+            for ip in self._active_in:
+                ip.rowbus_pass(cycle)
+
+        for ip in self._active_in:
+            ip.ingress(cycle)
+        for op in self._active_out:
+            op.apply_credits(cycle)
+            op.release_retained(cycle)
+        if self.sideband is not None:
+            self._process_sideband(cycle)
+
+    def _idle(self) -> bool:
+        """Fast path: nothing buffered, arriving, or pending anywhere."""
+        if self.inflight:
+            return False
+        for ip in self._active_in:
+            ch = ip.flit_in
+            if ch is not None and not ch.empty:
+                return False
+            if ip.retrieval_queue or ip.retrieval is not None:
+                return False
+            if ip.partition is not None and ip.partition.fifo_depth:
+                return False
+        for op in self._active_out:
+            if op.pending_release:
+                return False
+            ch = op.credit_in
+            if ch is not None and not ch.empty:
+                return False
+            tx = op.link_tx
+            if tx is not None and (tx.replay or tx.retained_flits):
+                return False  # unacked link window: NACKs may still come
+        if self.sideband is not None and self.sideband.in_flight:
+            return False
+        if getattr(self, "_paced_retransmits", None):
+            return False  # a throttled retransmission is still scheduled
+        return True
+
+    # -- routing context ---------------------------------------------------
+
+    def output_congestion(self, port: int) -> int:
+        """Queue-depth proxy for adaptive routing: flits committed in the
+        output buffer plus flits in flight toward the downstream input."""
+        op = self.out_ports[port]
+        depth = op.out_damq.total_committed
+        if op.mirror is not None:
+            depth += op.mirror.in_flight
+        return depth
+
+    # -- stashing hooks (no-ops on the baseline) ---------------------------
+
+    def on_copy_dispatched(self, origin_port: int, packet: Packet) -> None:
+        raise RuntimeError("baseline switch cannot dispatch stash copies")
+
+    def send_location(self, stash_port: int, job, location: int, cycle: int) -> None:
+        raise RuntimeError("baseline switch has no side-band network")
+
+    def observe_ack_egress(self, port: int, packet: Packet, cycle: int) -> None:
+        raise RuntimeError("baseline switch has no trackers")
+
+    def _process_sideband(self, cycle: int) -> None:
+        raise RuntimeError("baseline switch has no side-band network")
+
+    # -- introspection ------------------------------------------------------
+
+    def total_buffered_flits(self) -> int:
+        total = 0
+        for ip in self._active_in:
+            total += ip.damq.total_flits
+        for op in self._active_out:
+            total += op.occupancy()
+        for tile in self._flat_tiles:
+            total += tile.occupancy()
+        return total
+
+    @property
+    def quiescent(self) -> bool:
+        return self._idle()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(id={self.switch_id}, inflight={self.inflight})"
+
+
+def _default_pid_counter() -> Callable[[], int]:
+    state = {"next": 1_000_000_000}
+
+    def alloc() -> int:
+        state["next"] += 1
+        return state["next"]
+
+    return alloc

@@ -1,0 +1,21 @@
+"""Network topologies: canonical dragonfly, two-level fat-tree, and a
+single-switch testbench.
+
+A topology describes switches, their port assignments (endpoint / local /
+global link classes with per-class latencies), and the wiring between
+them; the network builder turns it into live channels, and the routers in
+:mod:`repro.routing` consult its reachability tables.
+"""
+
+from repro.topology.topology import PortSpec, Topology
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.fattree import FatTreeTopology
+from repro.topology.single_switch import SingleSwitchTopology
+
+__all__ = [
+    "DragonflyTopology",
+    "FatTreeTopology",
+    "PortSpec",
+    "SingleSwitchTopology",
+    "Topology",
+]

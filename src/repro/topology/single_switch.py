@@ -1,0 +1,61 @@
+"""Single-switch testbench topology.
+
+All endpoints hang off one switch.  This is the workhorse for unit and
+integration tests of the switch microarchitecture (tile arbitration,
+stash datapaths, reliability bookkeeping) because simulations are fast
+and every packet takes exactly one hop.
+
+``link_classes`` optionally overrides the class of each endpoint port so
+stash-fraction logic can be exercised (e.g. mark some ports "local" or
+"global" to vary their partitions).
+"""
+
+from __future__ import annotations
+
+from repro.topology.topology import PortSpec, Topology
+
+__all__ = ["SingleSwitchTopology"]
+
+
+class SingleSwitchTopology(Topology):
+    def __init__(
+        self,
+        num_nodes: int,
+        num_ports: int,
+        latency: int = 2,
+        link_classes: list[str] | None = None,
+    ) -> None:
+        super().__init__()
+        if num_nodes > num_ports:
+            raise ValueError("more nodes than switch ports")
+        self.num_switches = 1
+        self.num_nodes = num_nodes
+        self.num_ports = num_ports
+        self.latency = latency
+        self._classes = link_classes or ["endpoint"] * num_nodes
+        if len(self._classes) != num_nodes:
+            raise ValueError("link_classes must cover every node")
+        self.build()
+        self.verify_wiring()
+
+    def build(self) -> None:
+        specs: list[PortSpec] = []
+        for k in range(self.num_nodes):
+            cls = self._classes[k]
+            if cls not in ("endpoint", "local", "global"):
+                raise ValueError(f"bad link class {cls!r}")
+            specs.append(PortSpec(k, cls, ("node", k), self.latency))  # type: ignore[arg-type]
+        for k in range(self.num_nodes, self.num_ports):
+            specs.append(PortSpec(k, "unused", None, 0))
+        self._ports = [specs]
+
+    def node_switch(self, node: int) -> int:
+        return 0
+
+    def node_port(self, node: int) -> int:
+        return node
+
+    def end_ports(self, switch: int) -> list[int]:
+        # every attached node counts as an end port regardless of the
+        # class override used for stash-fraction testing
+        return list(range(self.num_nodes))

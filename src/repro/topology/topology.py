@@ -1,0 +1,115 @@
+"""Topology abstraction shared by dragonfly, fat-tree, and testbenches.
+
+A topology enumerates switches and, for each switch, a list of
+:class:`PortSpec` entries describing what every port connects to.  Ports
+are classified as ``endpoint`` / ``local`` / ``global`` / ``unused``;
+the stashing switch derives its per-port stash fractions from these
+classes (paper Table I and Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+__all__ = ["PortSpec", "Topology"]
+
+PortClass = Literal["endpoint", "local", "global", "unused"]
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """One switch port: its link class, peer, and channel latency.
+
+    ``peer`` is ``("node", node_id)`` for endpoint ports,
+    ``("switch", switch_id, peer_port)`` for switch-to-switch links, and
+    ``None`` for unused ports.
+    """
+
+    port: int
+    link_class: PortClass
+    peer: tuple | None
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.link_class != "unused" and self.peer is None:
+            raise ValueError(f"{self.link_class} port {self.port} must have a peer")
+        if self.link_class != "unused" and self.latency < 1:
+            raise ValueError("connected ports need latency >= 1")
+
+
+class Topology:
+    """Base class: concrete topologies fill the wiring tables."""
+
+    num_switches: int
+    num_nodes: int
+    num_ports: int  # ports available per switch (>= used radix)
+
+    def __init__(self) -> None:
+        self._ports: list[list[PortSpec]] = []
+
+    def build(self) -> None:
+        """Populate ``self._ports``; called by subclasses at init."""
+        raise NotImplementedError
+
+    # -- wiring queries --------------------------------------------------
+
+    def switch_ports(self, switch: int) -> list[PortSpec]:
+        return self._ports[switch]
+
+    def port_spec(self, switch: int, port: int) -> PortSpec:
+        return self._ports[switch][port]
+
+    def port_class(self, switch: int, port: int) -> PortClass:
+        return self._ports[switch][port].link_class
+
+    def end_ports(self, switch: int) -> list[int]:
+        return [
+            s.port for s in self._ports[switch] if s.link_class == "endpoint"
+        ]
+
+    def verify_wiring(self) -> None:
+        """Every switch-to-switch link must be symmetric; every node must
+        attach to exactly one port.  Raises on any inconsistency."""
+        seen_nodes: dict[int, tuple[int, int]] = {}
+        for s in range(self.num_switches):
+            for spec in self._ports[s]:
+                if spec.link_class == "unused":
+                    continue
+                assert spec.peer is not None
+                # node attachments may carry a non-endpoint class override
+                # (testbench topologies use this to vary stash fractions)
+                if spec.peer[0] == "node":
+                    _, node = spec.peer
+                    if node in seen_nodes:
+                        raise AssertionError(
+                            f"node {node} attached twice: {seen_nodes[node]} "
+                            f"and ({s}, {spec.port})"
+                        )
+                    seen_nodes[node] = (s, spec.port)
+                else:
+                    assert spec.peer is not None
+                    _, peer_switch, peer_port = spec.peer
+                    back = self._ports[peer_switch][peer_port]
+                    if back.peer != ("switch", s, spec.port):
+                        raise AssertionError(
+                            f"asymmetric link ({s},{spec.port}) -> "
+                            f"({peer_switch},{peer_port}) -> {back.peer}"
+                        )
+                    if back.latency != spec.latency:
+                        raise AssertionError("link latency mismatch")
+                    if back.link_class != spec.link_class:
+                        raise AssertionError("link class mismatch")
+        if len(seen_nodes) != self.num_nodes:
+            raise AssertionError(
+                f"{len(seen_nodes)} nodes wired, expected {self.num_nodes}"
+            )
+
+    # -- node placement ---------------------------------------------------
+
+    def node_switch(self, node: int) -> int:
+        raise NotImplementedError
+
+    def node_port(self, node: int) -> int:
+        """The switch port the node attaches to."""
+        raise NotImplementedError

@@ -1,0 +1,166 @@
+"""A miniature MPI layer for trace replay.
+
+A program is one op list per rank, executed in order: ``send`` ops post a
+message and complete immediately (eager semantics; the NIC's queue pairs
+pace the wire), ``recv`` ops block until a matching message has fully
+arrived.  Matching is by (source rank, tag) in arrival order, which is
+sufficient for the deterministic kernels we generate.
+
+Collectives are lowered to point-to-point at build time, the same way
+coarse-grained simulators (SST/Macro) lower them before handing traffic
+to the network layer:
+
+* ``allreduce`` / ``barrier`` — recursive doubling (power-of-two ranks)
+  with a fold-in step for the remainder;
+* ``all_to_all`` — linearly shifted pairwise exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MpiProgram",
+    "OP_RECV",
+    "OP_SEND",
+    "all_to_all",
+    "allreduce",
+    "barrier",
+    "op_recv",
+    "op_send",
+]
+
+OP_SEND = 0
+OP_RECV = 1
+
+
+def op_send(dst: int, size_flits: int, tag: int = 0) -> tuple:
+    """A send op: (OP_SEND, destination rank, flits, tag)."""
+    if size_flits < 1:
+        raise ValueError("send size must be at least one flit")
+    return (OP_SEND, dst, size_flits, tag)
+
+
+def op_recv(src: int, tag: int = 0) -> tuple:
+    """A recv op: (OP_RECV, source rank, tag)."""
+    return (OP_RECV, src, tag)
+
+
+@dataclass
+class MpiProgram:
+    """Per-rank op lists plus naming metadata."""
+
+    name: str
+    num_ranks: int
+    ops: list[list[tuple]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            self.ops = [[] for _ in range(self.num_ranks)]
+        if len(self.ops) != self.num_ranks:
+            raise ValueError("one op list required per rank")
+
+    def rank(self, r: int) -> list[tuple]:
+        return self.ops[r]
+
+    def add_send(self, src: int, dst: int, size_flits: int, tag: int = 0) -> None:
+        if src == dst:
+            return  # local copies never hit the network
+        self.ops[src].append(op_send(dst, size_flits, tag))
+        self.ops[dst].append(op_recv(src, tag))
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(ops) for ops in self.ops)
+
+    @property
+    def total_send_flits(self) -> int:
+        return sum(
+            op[2] for ops in self.ops for op in ops if op[0] == OP_SEND
+        )
+
+    def validate(self) -> None:
+        """Every send must have a matching recv (same src, dst, tag,
+        count).  Raises on mismatch — a malformed trace would otherwise
+        hang the replay."""
+        sends: dict[tuple[int, int, int], int] = {}
+        recvs: dict[tuple[int, int, int], int] = {}
+        for rank, ops in enumerate(self.ops):
+            for op in ops:
+                if op[0] == OP_SEND:
+                    key = (rank, op[1], op[3])
+                    sends[key] = sends.get(key, 0) + 1
+                else:
+                    key = (op[1], rank, op[2])
+                    recvs[key] = recvs.get(key, 0) + 1
+        if sends != recvs:
+            missing = {
+                k: (sends.get(k, 0), recvs.get(k, 0))
+                for k in set(sends) | set(recvs)
+                if sends.get(k, 0) != recvs.get(k, 0)
+            }
+            raise ValueError(f"unmatched sends/recvs: {missing}")
+
+
+# ---------------------------------------------------------------------------
+# collectives (lowered to point-to-point)
+# ---------------------------------------------------------------------------
+
+
+def _fold_groups(n: int) -> tuple[int, int]:
+    """Largest power of two <= n, and the remainder folded into it."""
+    p = 1
+    while p * 2 <= n:
+        p *= 2
+    return p, n - p
+
+
+def allreduce(
+    prog: MpiProgram, ranks: list[int], size_flits: int, tag_base: int
+) -> int:
+    """Recursive-doubling allreduce among ``ranks``.  Returns the next
+    free tag.  Non-power-of-two counts fold the excess ranks into the
+    power-of-two core first and broadcast back afterwards."""
+    n = len(ranks)
+    if n < 2:
+        return tag_base
+    p, rem = _fold_groups(n)
+    tag = tag_base
+    # fold-in: extras send their contribution to a core partner
+    for i in range(rem):
+        prog.add_send(ranks[p + i], ranks[i], size_flits, tag)
+    tag += 1
+    # recursive doubling among the p core ranks
+    dist = 1
+    while dist < p:
+        for i in range(p):
+            partner = i ^ dist
+            if partner < p:
+                prog.add_send(ranks[i], ranks[partner], size_flits, tag)
+        tag += 1
+        dist *= 2
+    # fold-out: core partners return the result to the extras
+    for i in range(rem):
+        prog.add_send(ranks[i], ranks[p + i], size_flits, tag)
+    return tag + 1
+
+
+def barrier(prog: MpiProgram, ranks: list[int], tag_base: int) -> int:
+    """A barrier is a one-flit allreduce."""
+    return allreduce(prog, ranks, 1, tag_base)
+
+
+def all_to_all(
+    prog: MpiProgram, ranks: list[int], size_flits: int, tag_base: int
+) -> int:
+    """Linearly shifted pairwise exchange: phase k pairs rank i with
+    rank (i + k) mod n."""
+    n = len(ranks)
+    if n < 2:
+        return tag_base
+    tag = tag_base
+    for k in range(1, n):
+        for i in range(n):
+            prog.add_send(ranks[i], ranks[(i + k) % n], size_flits, tag)
+        tag += 1
+    return tag

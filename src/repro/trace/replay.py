@@ -1,0 +1,156 @@
+"""Dependency-respecting MPI trace replay over the cycle-level network.
+
+Each rank executes its op list in order: sends post messages through the
+endpoint's queue pairs (eager), recvs block until the matching message's
+last packet has ejected at the destination.  Computation time is not
+modelled, matching the paper's Fig. 6 methodology ("we did not model
+computation time in order to focus on the communication aspects").
+
+Ranks map to endpoints contiguously by default, also per the paper
+("application ranks are mapped to endpoints in the system contiguously
+without gaps").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.trace.mpi import OP_SEND, MpiProgram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network import Network
+    from repro.switch.flit import Message
+
+__all__ = ["MpiReplay", "run_trace"]
+
+
+class MpiReplay:
+    """Drives one :class:`MpiProgram` through a :class:`Network`.
+
+    Register with the simulator *before* running; ``finished`` flips when
+    every rank has retired its op list and every posted message has been
+    delivered.
+    """
+
+    def __init__(
+        self,
+        net: "Network",
+        program: MpiProgram,
+        rank_to_node: list[int] | None = None,
+    ) -> None:
+        if program.num_ranks > net.topology.num_nodes:
+            raise ValueError(
+                f"{program.num_ranks} ranks exceed {net.topology.num_nodes} nodes"
+            )
+        program.validate()
+        self.net = net
+        self.program = program
+        self.rank_to_node = rank_to_node or list(range(program.num_ranks))
+        if len(set(self.rank_to_node)) != program.num_ranks:
+            raise ValueError("rank mapping must be injective")
+        self._node_to_rank = {n: r for r, n in enumerate(self.rank_to_node)}
+
+        self._pc = [0] * program.num_ranks  # per-rank program counter
+        # unconsumed arrivals per (dst_rank, src_rank, tag)
+        self._arrived: dict[tuple[int, int, int], int] = {}
+        # ranks whose current op might now be runnable
+        self._runnable: deque[int] = deque(range(program.num_ranks))
+        self._runnable_set = set(range(program.num_ranks))
+        self._outstanding_msgs = 0
+        self.finish_cycle: int | None = None
+        self.sends_posted = 0
+        self.recvs_completed = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_cycle is not None
+
+    def step(self, cycle: int) -> None:
+        if self.finished or not self._runnable:
+            self._check_done(cycle)
+            return
+        # retire as many ops as possible this cycle; recvs that cannot
+        # match park their rank until a new arrival wakes it
+        budget = len(self._runnable)
+        for _ in range(budget):
+            rank = self._runnable.popleft()
+            self._runnable_set.discard(rank)
+            self._run_rank(rank, cycle)
+        self._check_done(cycle)
+
+    def _run_rank(self, rank: int, cycle: int) -> None:
+        ops = self.program.ops[rank]
+        pc = self._pc[rank]
+        while pc < len(ops):
+            op = ops[pc]
+            if op[0] == OP_SEND:
+                _, dst, size, tag = op
+                self._post_send(rank, dst, size, tag, cycle)
+                pc += 1
+                continue
+            _, src, tag = op
+            key = (rank, src, tag)
+            have = self._arrived.get(key, 0)
+            if have > 0:
+                self._arrived[key] = have - 1
+                self.recvs_completed += 1
+                pc += 1
+                continue
+            break  # blocked on this recv
+        self._pc[rank] = pc
+
+    def _post_send(self, rank: int, dst: int, size: int, tag: int, cycle: int) -> None:
+        src_node = self.rank_to_node[rank]
+        dst_node = self.rank_to_node[dst]
+        endpoint = self.net.endpoints[src_node]
+        self._outstanding_msgs += 1
+        self.sends_posted += 1
+        endpoint.post_message(
+            dst_node, size, cycle, tag=tag, on_complete=self._on_message
+        )
+
+    def _on_message(self, msg: "Message", cycle: int) -> None:
+        self._outstanding_msgs -= 1
+        dst_rank = self._node_to_rank[msg.dst]
+        src_rank = self._node_to_rank[msg.src]
+        key = (dst_rank, src_rank, msg.tag)
+        self._arrived[key] = self._arrived.get(key, 0) + 1
+        if dst_rank not in self._runnable_set:
+            self._runnable_set.add(dst_rank)
+            self._runnable.append(dst_rank)
+
+    def _check_done(self, cycle: int) -> None:
+        if self.finished:
+            return
+        if self._outstanding_msgs:
+            return
+        if any(self._pc[r] < len(self.program.ops[r]) for r in range(
+            self.program.num_ranks
+        )):
+            return
+        self.finish_cycle = cycle
+
+
+def run_trace(
+    net: "Network",
+    program: MpiProgram,
+    max_cycles: int = 2_000_000,
+    rank_to_node: list[int] | None = None,
+) -> int:
+    """Replay ``program`` on ``net`` and return its execution time in
+    cycles (the paper's Fig. 6 metric).  Raises if the trace does not
+    complete within ``max_cycles`` — a symptom of a deadlocked trace or
+    an undersized budget."""
+    replay = MpiReplay(net, program, rank_to_node)
+    net.sim.add(replay)
+    done = net.sim.run_until(lambda: replay.finished, max_cycles)
+    if not done:
+        raise RuntimeError(
+            f"trace {program.name} incomplete after {max_cycles} cycles "
+            f"(pcs={replay._pc[:8]}..., outstanding={replay._outstanding_msgs})"
+        )
+    assert replay.finish_cycle is not None
+    return replay.finish_cycle

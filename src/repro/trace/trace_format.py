@@ -1,0 +1,96 @@
+"""On-disk trace format: save and load :class:`MpiProgram` objects.
+
+A portable, line-oriented text format in the spirit of the DesignForward
+trace dumps, so traces can be generated once (or converted from other
+tools) and replayed many times:
+
+.. code-block:: text
+
+    # repro-trace v1
+    name BIGFFT
+    ranks 1024
+    r 0 send 512 96 17      <- rank 0: send to rank 512, 96 flits, tag 17
+    r 512 recv 0 17         <- rank 512: recv from rank 0, tag 17
+
+Lines starting with ``#`` are comments; ops appear in each rank's
+program order (interleaving between ranks is irrelevant — order is only
+meaningful per rank, and the parser preserves it).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.trace.mpi import OP_RECV, OP_SEND, MpiProgram
+
+__all__ = ["load_trace", "loads_trace", "dump_trace", "dumps_trace"]
+
+_MAGIC = "# repro-trace v1"
+
+
+def dumps_trace(prog: MpiProgram) -> str:
+    """Serialize a program to the text format."""
+    out = io.StringIO()
+    out.write(f"{_MAGIC}\n")
+    out.write(f"name {prog.name}\n")
+    out.write(f"ranks {prog.num_ranks}\n")
+    for rank, ops in enumerate(prog.ops):
+        for op in ops:
+            if op[0] == OP_SEND:
+                _, dst, size, tag = op
+                out.write(f"r {rank} send {dst} {size} {tag}\n")
+            else:
+                _, src, tag = op
+                out.write(f"r {rank} recv {src} {tag}\n")
+    return out.getvalue()
+
+
+def dump_trace(prog: MpiProgram, path: str | Path) -> None:
+    Path(path).write_text(dumps_trace(prog), encoding="utf-8")
+
+
+def loads_trace(text: str, validate: bool = True) -> MpiProgram:
+    """Parse the text format back into a program."""
+    name = ""
+    ranks = -1
+    ops: list[list[tuple]] | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        try:
+            if fields[0] == "name":
+                name = " ".join(fields[1:])
+            elif fields[0] == "ranks":
+                ranks = int(fields[1])
+                ops = [[] for _ in range(ranks)]
+            elif fields[0] == "r":
+                if ops is None:
+                    raise ValueError("op before the 'ranks' header")
+                rank = int(fields[1])
+                kind = fields[2]
+                if kind == "send":
+                    dst, size, tag = map(int, fields[3:6])
+                    ops[rank].append((OP_SEND, dst, size, tag))
+                elif kind == "recv":
+                    src, tag = map(int, fields[3:5])
+                    ops[rank].append((OP_RECV, src, tag))
+                else:
+                    raise ValueError(f"unknown op kind {kind!r}")
+            else:
+                raise ValueError(f"unknown directive {fields[0]!r}")
+        except (IndexError, ValueError) as exc:
+            raise ValueError(f"trace parse error at line {lineno}: "
+                             f"{raw!r} ({exc})") from exc
+    if ranks < 1 or ops is None:
+        raise ValueError("trace has no 'ranks' header")
+    prog = MpiProgram(name or "trace", ranks, ops)
+    if validate:
+        prog.validate()
+    return prog
+
+
+def load_trace(path: str | Path, validate: bool = True) -> MpiProgram:
+    return loads_trace(Path(path).read_text(encoding="utf-8"), validate)

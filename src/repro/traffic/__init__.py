@@ -1,0 +1,27 @@
+"""Synthetic traffic: injection processes, spatial patterns, and the
+aggressor/victim scenarios of the paper's congestion study."""
+
+from repro.traffic.generators import BernoulliSource, BurstSource
+from repro.traffic.patterns import (
+    bit_complement,
+    hotspot,
+    permutation,
+    uniform_random,
+)
+from repro.traffic.aggressor import (
+    AggressorScenario,
+    hotspot_scenario,
+    uniform_aggressor_scenario,
+)
+
+__all__ = [
+    "AggressorScenario",
+    "BernoulliSource",
+    "BurstSource",
+    "bit_complement",
+    "hotspot",
+    "hotspot_scenario",
+    "permutation",
+    "uniform_aggressor_scenario",
+    "uniform_random",
+]

@@ -1,0 +1,63 @@
+"""Spatial traffic patterns: given a source node, pick a destination.
+
+A pattern is a callable ``(src, rng) -> dst`` bound to a node universe.
+Patterns never return the source itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+__all__ = ["bit_complement", "hotspot", "permutation", "uniform_random"]
+
+Pattern = Callable[[int, random.Random], int]
+
+
+def uniform_random(num_nodes: int) -> Pattern:
+    """Every other node equally likely (the paper's benign pattern)."""
+    if num_nodes < 2:
+        raise ValueError("uniform traffic needs at least two nodes")
+
+    def pick(src: int, rng: random.Random) -> int:
+        dst = rng.randrange(num_nodes - 1)
+        return dst if dst < src else dst + 1
+
+    return pick
+
+
+def permutation(mapping: Sequence[int]) -> Pattern:
+    """A fixed permutation; self-mappings are rejected at build time."""
+    for src, dst in enumerate(mapping):
+        if src == dst:
+            raise ValueError(f"permutation maps node {src} to itself")
+
+    def pick(src: int, rng: random.Random) -> int:
+        return mapping[src]
+
+    return pick
+
+
+def bit_complement(num_nodes: int) -> Pattern:
+    """Node i sends to (N-1-i); adversarial for minimal dragonfly routing."""
+    if num_nodes % 2:
+        raise ValueError("bit complement needs an even node count")
+
+    def pick(src: int, rng: random.Random) -> int:
+        return num_nodes - 1 - src
+
+    return pick
+
+
+def hotspot(destinations: Sequence[int]) -> Pattern:
+    """All traffic converges on a small destination set (uniformly
+    among them) — the oversubscription pattern of the paper's Fig. 7."""
+    dests = list(destinations)
+    if not dests:
+        raise ValueError("hotspot needs at least one destination")
+
+    def pick(src: int, rng: random.Random) -> int:
+        choices = [d for d in dests if d != src] or dests
+        return choices[rng.randrange(len(choices))]
+
+    return pick

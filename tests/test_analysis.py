@@ -1,0 +1,96 @@
+"""Analytic models: Table I, Little's law, metric helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.littles_law import (
+    stash_limited_injection_rate,
+    stash_per_endpoint_flits,
+)
+from repro.analysis.metrics import normalized_runtimes, saturation_load
+from repro.analysis.table1 import (
+    LinkClassRow,
+    buffer_underutilization,
+    dragonfly_link_table,
+    paper_table1,
+)
+from repro.engine.config import paper_preset, tiny_preset
+
+
+class TestTable1:
+    def test_paper_total_is_72_percent(self):
+        """The headline number of the introduction."""
+        total = buffer_underutilization(paper_table1())
+        assert total == pytest.approx(0.7225, abs=1e-4)
+
+    def test_rows_match_published_table(self):
+        rows = paper_table1()
+        assert [r.link_type for r in rows] == [
+            "Endpoint", "Intra-group", "Inter-group",
+        ]
+        assert [r.pct_ports for r in rows] == [25.0, 50.0, 25.0]
+        assert [r.underutilized for r in rows] == [0.99, 0.95, 0.0]
+
+    def test_percentages_must_sum_to_100(self):
+        rows = [LinkClassRow("x", "1m", 60.0, 0.5)]
+        with pytest.raises(ValueError):
+            buffer_underutilization(rows)
+
+    def test_simulated_table_for_paper_preset(self):
+        cfg = paper_preset()
+        rows = dragonfly_link_table(cfg.dragonfly, cfg.switch)
+        # inter-group links use all their buffering in the paper preset
+        assert rows[2].underutilized == pytest.approx(0.0, abs=0.02)
+        # endpoints are heavily underutilized
+        assert rows[0].underutilized > 0.9
+        total = buffer_underutilization(rows)
+        assert 0.5 < total < 0.9
+
+    def test_port_fractions_follow_radix(self):
+        cfg = tiny_preset()
+        rows = dragonfly_link_table(cfg.dragonfly, cfg.switch)
+        assert sum(r.pct_ports for r in rows) == pytest.approx(100.0)
+
+
+class TestLittlesLaw:
+    def test_paper_numbers(self):
+        """Section VI-A: ~12 KB/endpoint over a 1.6 us RTT -> 75 %.
+        In flits: 1200 flits over 1600 cycles."""
+        assert stash_limited_injection_rate(1200, 1600) == pytest.approx(0.75)
+
+    def test_capped_at_link_rate(self):
+        assert stash_limited_injection_rate(10_000, 100) == 1.0
+
+    def test_invalid_rtt(self):
+        with pytest.raises(ValueError):
+            stash_limited_injection_rate(100, 0)
+
+    def test_per_endpoint_capacity_paper_scale(self):
+        cfg = paper_preset()
+        from dataclasses import replace
+
+        cfg = cfg.with_(stash=replace(cfg.stash, enabled=True,
+                                      capacity_scale=0.25))
+        per_ep = stash_per_endpoint_flits(cfg)
+        # paper: ~12 KB = 1200 flits per endpoint at 25 % capacity
+        assert per_ep == pytest.approx(1187.5, rel=0.01)
+
+
+class TestMetrics:
+    def test_normalized_runtimes(self):
+        data = {"app": {"baseline": 100.0, "stash": 103.0}}
+        norm = normalized_runtimes(data)
+        assert norm["app"]["stash"] == pytest.approx(1.03)
+        assert norm["app"]["baseline"] == 1.0
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_runtimes({"app": {"stash": 1.0}})
+
+    def test_saturation_load(self):
+        points = [(0.2, 0.2), (0.5, 0.49), (0.8, 0.62)]
+        assert saturation_load(points) == 0.5
+
+    def test_saturation_nan_when_never_efficient(self):
+        assert math.isnan(saturation_load([(0.5, 0.1)]))

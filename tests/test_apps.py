@@ -1,0 +1,86 @@
+"""Synthetic DesignForward application kernels (Table II)."""
+
+import pytest
+
+from repro.trace.apps import (
+    APP_REGISTRY,
+    _grid_2d,
+    _grid_3d,
+    _neighbors_3d,
+    build_app,
+)
+
+
+class TestGrids:
+    def test_grid_2d_square(self):
+        assert _grid_2d(16) == (4, 4)
+        assert _grid_2d(12) == (3, 4)
+        assert _grid_2d(7) == (1, 7)
+
+    def test_grid_3d_cubic(self):
+        assert sorted(_grid_3d(8)) == [2, 2, 2]
+        assert sorted(_grid_3d(12)) == [2, 2, 3]
+
+    def test_grid_volume_preserved(self):
+        for n in (6, 42, 64, 100, 97):
+            a, b = _grid_2d(n)
+            assert a * b == n
+            x, y, z = _grid_3d(n)
+            assert x * y * z == n
+
+    def test_neighbors_symmetric(self):
+        dims = (2, 3, 2)
+        n = 12
+        for rank in range(n):
+            for peer in _neighbors_3d(rank, dims):
+                assert rank in _neighbors_3d(peer, dims)
+
+    def test_neighbors_exclude_self(self):
+        for rank in range(12):
+            assert rank not in _neighbors_3d(rank, (2, 3, 2))
+
+    def test_degenerate_axis_skipped(self):
+        # a 1-wide axis has no neighbours along it
+        assert sorted(_neighbors_3d(0, (1, 1, 4))) == [1, 3]
+
+
+class TestApps:
+    @pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+    @pytest.mark.parametrize("ranks", [6, 17, 42])
+    def test_builds_and_validates(self, name, ranks):
+        prog = build_app(name, ranks, size_scale=2, iterations=1)
+        assert prog.num_ranks == ranks
+        assert prog.total_ops > 0
+        prog.validate()  # raises on unmatched send/recv
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            build_app("LINPACK", 8)
+
+    def test_bandwidth_apps_are_heavier(self):
+        """The Fig. 6 contrast: BIGFFT/FillBoundary must move more flits
+        per rank than the light apps at equal scale."""
+        ranks, scale = 42, 4
+        volume = {
+            name: build_app(name, ranks, scale, 1).total_send_flits
+            for name in APP_REGISTRY
+        }
+        heavy = min(volume["BIGFFT"], volume["FillBoundary"])
+        light = max(volume["MultiGrid"], volume["MiniFE"])
+        assert heavy > light
+
+    def test_iterations_scale_volume(self):
+        one = build_app("MiniFE", 12, 4, iterations=1).total_send_flits
+        three = build_app("MiniFE", 12, 4, iterations=3).total_send_flits
+        assert three == 3 * one
+
+    def test_registry_descriptions_match_table2(self):
+        assert "FFT" in APP_REGISTRY["BIGFFT"].description
+        assert "BoxLib" in APP_REGISTRY["FillBoundary"].description
+        assert APP_REGISTRY["AMG"].load_class == "light"
+        assert len(APP_REGISTRY) == 6  # the six rows of Table II
+
+    def test_deterministic(self):
+        a = build_app("AMR", 24, 4, 1)
+        b = build_app("AMR", 24, 4, 1)
+        assert a.ops == b.ops

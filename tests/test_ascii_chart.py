@@ -1,0 +1,52 @@
+"""ASCII chart rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.ascii_chart import line_chart, multi_series_chart
+
+
+def test_single_series_renders_extremes():
+    out = line_chart([0, 1, 2, 3], [10, 20, 15, 40], label="lat")
+    assert "40" in out
+    assert "10" in out
+    assert "*" in out
+    assert "lat" in out
+
+
+def test_multi_series_distinct_glyphs():
+    out = multi_series_chart(
+        {
+            "baseline": ([0, 1], [1, 2]),
+            "stash": ([0, 1], [2, 4]),
+        }
+    )
+    assert "*=baseline" in out
+    assert "o=stash" in out
+    assert "o" in out.splitlines()[0] + out.splitlines()[1]
+
+
+def test_constant_series_no_div_by_zero():
+    out = line_chart([1, 2, 3], [5, 5, 5])
+    assert "5" in out
+
+
+def test_nan_points_skipped():
+    out = line_chart([0, 1, 2], [1.0, math.nan, 3.0])
+    assert "(no finite data)" not in out
+
+
+def test_all_nan_reports_empty():
+    assert "no finite data" in line_chart([0], [math.nan])
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ValueError):
+        multi_series_chart({})
+
+
+def test_dimensions_respected():
+    out = line_chart(list(range(10)), list(range(10)), width=30, height=6)
+    body_lines = [l for l in out.splitlines() if "┤" in l or "│" in l]
+    assert len(body_lines) == 6

@@ -1,0 +1,58 @@
+"""Delay-line channels."""
+
+import pytest
+
+from repro.engine.channel import Channel, CreditChannel
+
+
+def test_latency_respected():
+    ch = Channel(3)
+    ch.send("a", cycle=10)
+    assert list(ch.recv_ready(12)) == []
+    assert list(ch.recv_ready(13)) == ["a"]
+    assert list(ch.recv_ready(14)) == []
+
+
+def test_fifo_order():
+    ch = Channel(2)
+    for i in range(5):
+        ch.send(i, cycle=i)
+    out = []
+    for cycle in range(12):
+        out.extend(ch.recv_ready(cycle))
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_batch_delivery_same_cycle():
+    ch = Channel(1)
+    ch.send("x", 5)
+    ch.send("y", 5)
+    assert list(ch.recv_ready(6)) == ["x", "y"]
+
+
+def test_peek_does_not_consume():
+    ch = Channel(1)
+    ch.send("x", 0)
+    assert ch.peek_ready(1) == "x"
+    assert ch.peek_ready(1) == "x"
+    assert list(ch.recv_ready(1)) == ["x"]
+    assert ch.peek_ready(1) is None
+
+
+def test_empty_and_len():
+    ch = Channel(1)
+    assert ch.empty
+    ch.send(1, 0)
+    assert not ch.empty
+    assert len(ch) == 1
+
+
+def test_zero_latency_rejected():
+    with pytest.raises(ValueError):
+        Channel(0)
+
+
+def test_credit_channel_tuples():
+    ch = CreditChannel(2)
+    ch.send_credit(vc=3, flits=2, cycle=0)
+    assert list(ch.recv_ready(2)) == [(3, 2)]

@@ -1,0 +1,136 @@
+"""ECN transmission windows (paper Section IV-B)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.config import EcnParams
+from repro.protocol.ecn import EcnWindows
+
+
+def windows(**kw):
+    defaults = dict(
+        enabled=True,
+        window_max_flits=4096,
+        window_min_flits=24,
+        recovery_period=30,
+        recovery_flits=1,
+    )
+    defaults.update(kw)
+    return EcnWindows(EcnParams(**defaults))
+
+
+class TestWindowGating:
+    def test_initial_window_is_max(self):
+        w = windows()
+        assert w.window(5) == 4096
+        assert w.can_send(5, 4096)
+        assert not w.can_send(5, 4097)
+
+    def test_inject_consumes_window(self):
+        w = windows()
+        w.on_inject(5, 4000)
+        assert not w.can_send(5, 100)
+        assert w.can_send(5, 96)
+
+    def test_windows_are_per_destination(self):
+        w = windows()
+        w.on_inject(5, 4096)
+        assert not w.can_send(5, 1)
+        assert w.can_send(6, 4096)
+
+    def test_ack_releases(self):
+        w = windows()
+        w.on_inject(5, 100)
+        w.on_ack(5, 100, ecn_marked=False)
+        assert w.in_flight(5) == 0
+        assert w.window(5) == 4096  # unmarked ACK leaves the window alone
+
+    def test_ack_underflow_rejected(self):
+        w = windows()
+        with pytest.raises(RuntimeError):
+            w.on_ack(5, 10, ecn_marked=False)
+
+
+class TestMarking:
+    def test_marked_ack_cuts_to_80_percent(self):
+        w = windows()
+        w.on_inject(5, 24)
+        w.on_ack(5, 24, ecn_marked=True)
+        assert w.window(5) == pytest.approx(4096 * 0.8)
+        assert w.window_cuts == 1
+
+    def test_multiplicative_decrease_compounds(self):
+        w = windows()
+        for _ in range(3):
+            w.on_inject(5, 24)
+            w.on_ack(5, 24, ecn_marked=True)
+        assert w.window(5) == pytest.approx(4096 * 0.8**3)
+
+    def test_floor_at_window_min(self):
+        w = windows(window_max_flits=100, window_min_flits=50)
+        for _ in range(20):
+            w.on_inject(5, 1)
+            w.on_ack(5, 1, ecn_marked=True)
+        assert w.window(5) == 50
+
+
+class TestRecovery:
+    def test_recovers_one_flit_per_period(self):
+        w = windows(recovery_period=30, recovery_flits=1)
+        w.on_inject(5, 24)
+        w.on_ack(5, 24, ecn_marked=True)
+        start = w.window(5)
+        for cycle in range(1, 30):
+            w.tick(cycle)
+        assert w.window(5) == start
+        w.tick(30)
+        assert w.window(5) == start + 1
+
+    def test_recovery_stops_at_max(self):
+        w = windows(window_max_flits=30, window_min_flits=10,
+                    recovery_period=1, recovery_flits=10)
+        w.on_inject(5, 1)
+        w.on_ack(5, 1, ecn_marked=True)  # 24 (0.8*30)
+        for cycle in range(1, 4):
+            w.tick(cycle)
+        assert w.window(5) == 30
+        assert w.throttled_destinations == 0
+
+    def test_paper_constants_recover_in_expected_time(self):
+        """4096 * 0.2 flits lost per cut; +1 flit / 30 cycles means full
+        recovery from one cut takes ~24.6k cycles."""
+        w = windows()
+        w.on_inject(5, 24)
+        w.on_ack(5, 24, ecn_marked=True)
+        deficit = 4096 - w.window(5)
+        cycles_needed = deficit * 30
+        assert cycles_needed == pytest.approx(24576, rel=0.01)
+
+
+class TestDisabled:
+    def test_disabled_never_gates(self):
+        w = windows(enabled=False)
+        assert w.can_send(5, 10**9)
+        w.on_inject(5, 100)
+        assert w.in_flight(5) == 0  # accounting off entirely
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(1, 64), st.booleans()),
+        max_size=80,
+    )
+)
+@settings(max_examples=50)
+def test_in_flight_never_negative_and_window_bounded(ops):
+    w = windows(window_max_flits=256, window_min_flits=8)
+    outstanding: dict[int, list[int]] = {}
+    for dst, size, marked in ops:
+        if w.can_send(dst, size):
+            w.on_inject(dst, size)
+            outstanding.setdefault(dst, []).append(size)
+        elif outstanding.get(dst):
+            done = outstanding[dst].pop(0)
+            w.on_ack(dst, done, marked)
+        assert w.in_flight(dst) >= 0
+        assert 8 <= w.window(dst) <= 256

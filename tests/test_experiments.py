@@ -1,0 +1,259 @@
+"""Experiment harness smoke tests on micro-scale networks.
+
+These verify the harness plumbing (variant construction, sweeps, result
+shapes, formatters); the benchmarks regenerate the real figures.
+"""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.engine.config import SimParams
+from repro.experiments.common import (
+    CONGESTION_VARIANTS,
+    RELIABILITY_VARIANTS,
+    congestion_network,
+    preset_by_name,
+    quicken,
+    reliability_network,
+)
+from tests.conftest import micro_config
+
+
+def fast_base():
+    return micro_config(
+        sim=SimParams(seed=3, warmup_cycles=200, measure_cycles=800,
+                      drain_cycles=6000, sample_period=25)
+    )
+
+
+class TestCommon:
+    def test_preset_lookup(self):
+        assert preset_by_name("tiny").dragonfly.p == 2
+        with pytest.raises(ValueError):
+            preset_by_name("gigantic")
+
+    def test_quicken_scales_windows(self):
+        base = preset_by_name("tiny")
+        quick = quicken(base, 0.5)
+        assert quick.sim.measure_cycles == base.sim.measure_cycles // 2
+
+    def test_reliability_variants(self):
+        base = fast_base()
+        for variant, scale in RELIABILITY_VARIANTS.items():
+            net = reliability_network(base, variant)
+            if scale is None:
+                assert net.switches[0].stash_dir is None
+            else:
+                assert net.switches[0].reliability_on
+                cap_full = reliability_network(base, "stash100")
+                assert net.switches[0].stash_dir.total_capacity() <= \
+                    cap_full.switches[0].stash_dir.total_capacity()
+
+    def test_congestion_variants(self):
+        base = fast_base()
+        for variant, scale in CONGESTION_VARIANTS.items():
+            net = congestion_network(base, variant)
+            assert net.switches[0].ecn_on
+            assert net.switches[0].congestion_stash_on == (scale is not None)
+
+    def test_seed_override(self):
+        net = reliability_network(fast_base(), "baseline", seed=77)
+        assert net.config.sim.seed == 77
+
+
+class TestFig5:
+    def test_sweep_shape(self):
+        from repro.experiments.fig5 import format_fig5, run_fig5
+
+        res = run_fig5(fast_base(), loads=(0.2,), variants=("baseline",
+                                                            "stash100"))
+        assert set(res) == {"baseline", "stash100"}
+        for points in res.values():
+            assert len(points) == 1
+            p = points[0]
+            assert 0 < p.accepted <= 1.0
+            assert p.avg_latency > 0
+        table = format_fig5(res)
+        assert "baseline" in table and "stash100" in table
+
+
+class TestFig6:
+    def test_trace_runtimes(self):
+        from repro.experiments.fig6 import format_fig6, run_fig6
+
+        res = run_fig6(
+            fast_base(), apps=("MiniFE",), variants=("baseline", "stash100"),
+            size_scale=2, iterations=1,
+        )
+        assert res["MiniFE"]["baseline"] > 0
+        out = format_fig6(res)
+        assert "MiniFE" in out
+
+
+class TestFig7:
+    def test_transient_series(self):
+        from repro.experiments.fig7 import format_fig7, run_fig7
+
+        res = run_fig7(
+            fast_base(), variants=("baseline",), include_reference=False,
+            victim_rate=0.25,
+        )
+        r = res["baseline"]
+        assert r.time.size > 0
+        assert r.mean_latency > 0
+        assert not math.isnan(r.p99_latency)
+        assert "baseline" in format_fig7(res)
+
+
+class TestFig8:
+    def test_probe_series(self):
+        from repro.experiments.fig8 import format_fig8, run_fig8
+
+        res = run_fig8(fast_base(), variant="stash100", victim_rate=0.25)
+        assert res.time.size > 0
+        assert res.aggressor_load.max() > 0
+        assert 0 <= res.peak_utilization <= 1.0
+        assert "stash" in format_fig8(res).lower()
+
+
+class TestFig9:
+    def test_burst_sweep(self):
+        from repro.experiments.fig9 import format_fig9, run_fig9
+
+        res = run_fig9(
+            fast_base(), bursts_pkts=(1, 4), variants=("baseline",),
+            victim_rate=0.25,
+        )
+        series = res["baseline"]
+        assert [b for b, _, _ in series] == [1, 4]
+        assert all(p90 > 0 for _, p90, _ in series)
+        assert "baseline" in format_fig9(res)
+
+
+class TestTables:
+    def test_table1(self):
+        from repro.experiments.tables import format_table1, run_table1
+
+        res = run_table1(fast_base())
+        assert res["paper_total"] == pytest.approx(0.7225, abs=1e-4)
+        assert "72" in format_table1(res)
+
+    def test_table2(self):
+        from repro.experiments.tables import format_table2, run_table2
+
+        rows = run_table2(ranks=12, size_scale=2)
+        assert len(rows) == 6
+        assert all(r["ops"] > 0 for r in rows)
+        assert "BIGFFT" in format_table2(rows)
+
+
+class TestAblations:
+    def test_speedup_ablation(self):
+        from repro.experiments.ablations import run_speedup_ablation
+
+        rows = run_speedup_ablation(fast_base(), speedups=(1.0, 1.3),
+                                    load=0.3)
+        assert [s for s, _, _ in rows] == [1.0, 1.3]
+        assert all(acc > 0 for _, acc, _ in rows)
+
+    def test_placement_ablation(self):
+        from repro.experiments.ablations import run_placement_ablation
+
+        res = run_placement_ablation(fast_base(), load=0.3,
+                                     capacity_scale=0.5)
+        assert set(res) == {"jsq", "random"}
+
+
+class TestOccupancy:
+    def test_census_rows(self):
+        from repro.experiments.occupancy import (
+            format_occupancy,
+            run_occupancy_census,
+        )
+
+        rows = run_occupancy_census(fast_base(), load=0.4)
+        classes = [r.link_class for r in rows]
+        assert classes == ["endpoint", "local", "global"]
+        for r in rows:
+            assert 0 <= r.peak_flits <= r.capacity_flits
+            assert 0.0 <= r.idle_fraction <= 1.0
+        assert "idle" in format_occupancy(rows)
+
+
+class TestFatTreeExperiment:
+    def test_variants_run(self):
+        from repro.experiments.fattree_exp import (
+            format_fattree,
+            run_fattree_reliability,
+        )
+
+        res = run_fattree_reliability(
+            fast_base(), loads=(0.25,), variants=("baseline", "stash100")
+        )
+        for series in res.values():
+            offered, accepted, lat = series[0]
+            assert accepted == pytest.approx(offered, rel=0.15)
+            assert lat > 0
+        assert "stash100" in format_fattree(res)
+
+
+class TestPacedRetransmission:
+    def test_pace_delays_recovery(self):
+        from dataclasses import replace
+
+        from repro.engine.config import ReliabilityParams, StashParams
+        from repro.network import Network
+        from tests.conftest import drain_and_check, micro_config
+
+        def recovery_cycles(pace):
+            cfg = micro_config(
+                stash=StashParams(enabled=True, frac_local=0.5),
+                reliability=ReliabilityParams(
+                    enabled=True, error_rate=0.0, retransmit_pace=pace
+                ),
+            )
+            net = Network(cfg)
+            net.error_rate = 1.0  # corrupt exactly the first delivery
+            net.endpoints[0].post_message(3, 4, 0)
+            net.sim.run(30)
+            net.error_rate = 0.0
+            drain_and_check(net, max_cycles=100_000)
+            msg = next(iter(net.messages.values()))
+            return msg.complete_cycle
+
+        fast = recovery_cycles(pace=0)
+        slow = recovery_cycles(pace=400)
+        assert slow >= fast + 300  # the pace visibly delays recovery
+
+    def test_paced_retransmits_still_conserve(self):
+        from repro.engine.config import ReliabilityParams, StashParams
+        from repro.network import Network
+        from tests.conftest import drain_and_check, micro_config
+
+        cfg = micro_config(
+            stash=StashParams(enabled=True, frac_local=0.5),
+            reliability=ReliabilityParams(
+                enabled=True, error_rate=0.1, retransmit_pace=150
+            ),
+        )
+        net = Network(cfg)
+        net.add_uniform_traffic(rate=0.2, stop=600)
+        net.sim.run(600)
+        drain_and_check(net, max_cycles=300_000)
+
+
+class TestRunnerCli:
+    def test_table_experiments_via_cli(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,119 @@
+"""Mini-MPI layer: op construction, matching validation, collectives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.mpi import (
+    OP_RECV,
+    OP_SEND,
+    MpiProgram,
+    all_to_all,
+    allreduce,
+    barrier,
+    op_recv,
+    op_send,
+)
+
+
+class TestOps:
+    def test_send_recv_tuples(self):
+        assert op_send(3, 8, tag=2) == (OP_SEND, 3, 8, 2)
+        assert op_recv(1, tag=5) == (OP_RECV, 1, 5)
+
+    def test_zero_size_send_rejected(self):
+        with pytest.raises(ValueError):
+            op_send(1, 0)
+
+
+class TestProgram:
+    def test_add_send_pairs_ops(self):
+        prog = MpiProgram("t", 3)
+        prog.add_send(0, 2, 8, tag=1)
+        assert prog.ops[0] == [op_send(2, 8, 1)]
+        assert prog.ops[2] == [op_recv(0, 1)]
+        prog.validate()
+
+    def test_self_send_skipped(self):
+        prog = MpiProgram("t", 2)
+        prog.add_send(1, 1, 8)
+        assert prog.total_ops == 0
+
+    def test_validate_catches_orphan_recv(self):
+        prog = MpiProgram("t", 2)
+        prog.ops[0].append(op_recv(1, 0))
+        with pytest.raises(ValueError, match="unmatched"):
+            prog.validate()
+
+    def test_validate_catches_orphan_send(self):
+        prog = MpiProgram("t", 2)
+        prog.ops[0].append(op_send(1, 4, 0))
+        with pytest.raises(ValueError, match="unmatched"):
+            prog.validate()
+
+    def test_flit_accounting(self):
+        prog = MpiProgram("t", 3)
+        prog.add_send(0, 1, 8)
+        prog.add_send(1, 2, 16)
+        assert prog.total_send_flits == 24
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 7, 8, 16])
+    def test_allreduce_matches(self, n):
+        prog = MpiProgram("t", n)
+        allreduce(prog, list(range(n)), 4, tag_base=0)
+        prog.validate()
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_allreduce_power_of_two_volume(self, n):
+        """Recursive doubling: every rank sends log2(n) messages."""
+        prog = MpiProgram("t", n)
+        allreduce(prog, list(range(n)), 1, 0)
+        sends_per_rank = [
+            sum(1 for op in ops if op[0] == OP_SEND) for op_list in [prog.ops]
+            for ops in op_list
+        ]
+        import math
+
+        assert all(s == int(math.log2(n)) for s in sends_per_rank)
+
+    def test_allreduce_single_rank_noop(self):
+        prog = MpiProgram("t", 1)
+        next_tag = allreduce(prog, [0], 4, 7)
+        assert next_tag == 7
+        assert prog.total_ops == 0
+
+    def test_barrier_is_one_flit(self):
+        prog = MpiProgram("t", 4)
+        barrier(prog, list(range(4)), 0)
+        sizes = {op[2] for ops in prog.ops for op in ops if op[0] == OP_SEND}
+        assert sizes == {1}
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_all_to_all_every_pair(self, n):
+        prog = MpiProgram("t", n)
+        all_to_all(prog, list(range(n)), 4, 0)
+        prog.validate()
+        pairs = {
+            (src, op[1])
+            for src, ops in enumerate(prog.ops)
+            for op in ops
+            if op[0] == OP_SEND
+        }
+        expected = {(i, j) for i in range(n) for j in range(n) if i != j}
+        assert pairs == expected
+
+    def test_collectives_on_subsets(self):
+        prog = MpiProgram("t", 10)
+        allreduce(prog, [2, 5, 7], 4, 0)
+        prog.validate()
+        assert not prog.ops[0]  # uninvolved ranks untouched
+
+    @given(st.integers(2, 12), st.integers(1, 32))
+    @settings(max_examples=40)
+    def test_collectives_always_match(self, n, size):
+        prog = MpiProgram("t", n)
+        tag = allreduce(prog, list(range(n)), size, 0)
+        tag = all_to_all(prog, list(range(n)), size, tag)
+        barrier(prog, list(range(n)), tag)
+        prog.validate()

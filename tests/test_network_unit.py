@@ -1,0 +1,116 @@
+"""Network-level plumbing: ids, registries, stats windows, probes."""
+
+import math
+
+import pytest
+
+from repro.engine.config import StashParams
+from repro.network import Network
+from tests.conftest import drain_and_check, micro_config, single_switch_net
+
+
+class TestAllocation:
+    def test_pids_unique_and_monotone(self):
+        net = single_switch_net()
+        pids = [net.alloc_pid() for _ in range(100)]
+        assert pids == sorted(pids)
+        assert len(set(pids)) == 100
+
+    def test_message_registry(self):
+        net = single_switch_net()
+        msg = net.alloc_message(0, 1, 8, cycle=5, tag=3)
+        assert net.messages[msg.msg_id] is msg
+        assert msg.tag == 3
+
+
+class TestStatsWindows:
+    def test_latency_outside_window_dropped(self):
+        net = single_switch_net()
+        net.endpoints[0].post_message(1, 4, 0)
+        drain_and_check(net)  # no window open
+        assert net.latency.count == 0
+
+    def test_offered_accepted_balance_below_saturation(self):
+        net = single_switch_net()
+        net.add_uniform_traffic(rate=0.3)
+        net.sim.run(300)
+        net.open_measurement()
+        net.sim.run(1500)
+        net.close_measurement()
+        res = net.result()
+        assert res.accepted_load == pytest.approx(res.offered_load, rel=0.15)
+
+    def test_result_nan_without_samples(self):
+        net = single_switch_net()
+        res = net.result()
+        assert math.isnan(res.avg_latency)
+        assert res.packets_measured == 0
+
+    def test_inflight_latency_leq_total(self):
+        net = single_switch_net()
+        net.open_measurement()
+        for _ in range(5):
+            net.endpoints[0].post_message(1, 12, net.sim.cycle)
+        drain_and_check(net)
+        assert net.inflight_latency.mean <= net.latency.mean
+
+
+class TestProbes:
+    def test_stash_utilization_zero_on_baseline(self):
+        net = single_switch_net()
+        assert net.stash_utilization() == 0.0
+
+    def test_stash_utilization_single_switch_argument(self):
+        net = single_switch_net(stash=True)
+        sw = net.switches[0]
+        part = sw.stash_dir.partitions[0]
+        part.commit(part.capacity // 2)
+        assert net.stash_utilization(0) > 0
+        assert net.stash_utilization() == net.stash_utilization(0)
+
+    def test_quiescent_detects_pending_endpoint_work(self):
+        net = single_switch_net()
+        assert net.quiescent()
+        net.endpoints[0].post_message(1, 4, 0)
+        assert not net.quiescent()
+
+
+class TestGroupTracking:
+    def test_groups_partition_latency_samples(self):
+        net = single_switch_net()
+        net.track_group("left", {0, 1, 2})
+        net.track_group("right", {3, 4, 5})
+        net.open_measurement()
+        for src in range(6):
+            net.endpoints[src].post_message((src + 1) % 6, 4, 0)
+        drain_and_check(net)
+        left = net.group_latency["left"].count
+        right = net.group_latency["right"].count
+        assert left == right == 3
+        assert left + right == net.latency.count
+
+
+class TestMultiSourceWiring:
+    def test_sources_limited_to_node_subset(self):
+        net = single_switch_net()
+        net.add_uniform_traffic(rate=0.5, nodes=[0, 1], stop=300)
+        net.sim.run(300)
+        for node in (2, 3, 4, 5):
+            assert net.endpoints[node].messages_posted == 0
+        assert net.endpoints[0].messages_posted > 0
+
+    def test_micro_dragonfly_switch_count(self):
+        net = Network(micro_config())
+        assert len(net.switches) == 6
+        assert len(net.endpoints) == 6
+
+    def test_stashing_switch_type_selected_by_config(self):
+        from repro.switch.stashing_switch import StashingSwitch
+        from repro.switch.tiled_switch import TiledSwitch
+
+        base = Network(micro_config())
+        assert type(base.switches[0]) is TiledSwitch
+        stash = Network(
+            micro_config(stash=StashParams(enabled=True, frac_local=0.5))
+        )
+        assert type(stash.switches[0]) is StashingSwitch

@@ -1,0 +1,94 @@
+"""Network instrumentation reports."""
+
+import pytest
+
+from repro.analysis.report import format_report, network_report
+from repro.engine.config import (
+    LinkParams,
+    ReliabilityParams,
+    StashParams,
+)
+from repro.network import Network
+from tests.conftest import drain_and_check, micro_config, single_switch_net
+
+
+def test_baseline_report_counts_flits():
+    net = single_switch_net()
+    net.add_uniform_traffic(rate=0.3, stop=400)
+    net.sim.run(400)
+    drain_and_check(net)
+    rep = network_report(net)
+    ep = rep["endpoints"]
+    assert ep["flits_injected"] > 0
+    assert ep["flits_injected"] == rep["switches"]["flits_received"]
+    assert rep["conservation"]["in_flight_flits"] == 0
+    assert rep["conservation"]["messages_delivered"] == \
+        rep["conservation"]["messages_total"]
+    assert 0 < ep["injection_rate"] < 1
+
+
+def test_stash_section_populated():
+    net = single_switch_net(stash=True, reliability=True)
+    net.add_uniform_traffic(rate=0.3, stop=400)
+    net.sim.run(400)
+    drain_and_check(net)
+    rep = network_report(net)
+    assert rep["stash"]["capacity_flits"] > 0
+    assert rep["stash"]["stored_total"] > 0
+    assert rep["stash"]["stored_total"] == rep["stash"]["deleted_total"]
+    assert rep["stash"]["committed_flits"] == 0  # fully drained
+    assert rep["stash"]["sideband_messages"] >= 2 * rep["stash"]["stored_total"]
+
+
+def test_link_section_populated():
+    cfg = micro_config(
+        link=LinkParams(enabled=True, error_rate=0.05, ack_interval=2)
+    )
+    net = Network(cfg)
+    net.add_uniform_traffic(rate=0.25, stop=600)
+    net.sim.run(600)
+    drain_and_check(net, max_cycles=300_000)
+    rep = network_report(net)
+    assert rep["link"]["replayed"] > 0
+    assert rep["link"]["nacks"] > 0
+    assert rep["link"]["accepted"] > rep["link"]["discarded"]
+
+
+def test_format_report_renders_sections():
+    net = single_switch_net(stash=True, reliability=True)
+    net.add_uniform_traffic(rate=0.3, stop=300)
+    net.sim.run(300)
+    drain_and_check(net)
+    text = format_report(network_report(net))
+    assert "[endpoints]" in text
+    assert "[stash]" in text
+    assert "stored_total" in text
+
+
+def test_empty_sections_omitted():
+    net = single_switch_net()
+    text = format_report(network_report(net))
+    assert "[link]" not in text
+    assert "[stash]" not in text
+
+
+def test_combined_protocols_stress():
+    """Everything at once: stashing reliability + endpoint corruption +
+    lossy links + ECN.  All recovery machinery must compose."""
+    from repro.engine.config import EcnParams
+
+    cfg = micro_config(
+        stash=StashParams(enabled=True, frac_local=0.5),
+        reliability=ReliabilityParams(enabled=True, error_rate=0.03),
+        link=LinkParams(enabled=True, error_rate=0.03, ack_interval=2),
+        ecn=EcnParams(enabled=True, window_max_flits=256,
+                      window_min_flits=4, recovery_period=4),
+    )
+    net = Network(cfg)
+    net.add_uniform_traffic(rate=0.25, stop=800)
+    net.sim.run(800)
+    drain_and_check(net, max_cycles=400_000)
+    rep = network_report(net)
+    assert rep["link"]["replayed"] > 0
+    assert rep["stash"]["retransmits_issued"] > 0
+    assert rep["endpoints"]["packets_corrupted"] > 0

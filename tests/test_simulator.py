@@ -1,0 +1,66 @@
+"""Cycle-loop kernel."""
+
+import pytest
+
+from repro.engine.simulator import Simulator
+
+
+class Recorder:
+    def __init__(self):
+        self.cycles = []
+
+    def step(self, cycle):
+        self.cycles.append(cycle)
+
+
+def test_run_advances_each_component_every_cycle():
+    sim = Simulator()
+    a, b = Recorder(), Recorder()
+    sim.add(a)
+    sim.add(b)
+    sim.run(5)
+    assert a.cycles == b.cycles == [0, 1, 2, 3, 4]
+    assert sim.cycle == 5
+
+
+def test_run_is_resumable():
+    sim = Simulator()
+    r = Recorder()
+    sim.add(r)
+    sim.run(3)
+    sim.run(2)
+    assert r.cycles == [0, 1, 2, 3, 4]
+
+
+def test_sampler_period():
+    sim = Simulator()
+    hits = []
+    sim.add_sampler(10, hits.append)
+    sim.run(35)
+    assert hits == [0, 10, 20, 30]
+
+
+def test_sampler_rejects_bad_period():
+    with pytest.raises(ValueError):
+        Simulator().add_sampler(0, lambda c: None)
+
+
+def test_run_until_true_immediately():
+    sim = Simulator()
+    assert sim.run_until(lambda: True, max_cycles=100)
+    assert sim.cycle == 0
+
+
+def test_run_until_deadline():
+    sim = Simulator()
+    assert not sim.run_until(lambda: False, max_cycles=100)
+    assert sim.cycle == 100
+
+
+def test_run_until_condition_met_midway():
+    sim = Simulator()
+    r = Recorder()
+    sim.add(r)
+    ok = sim.run_until(lambda: len(r.cycles) >= 10, max_cycles=1000, check_period=4)
+    assert ok
+    assert sim.cycle <= 16  # checked every 4 cycles

@@ -1,0 +1,96 @@
+"""Trace file format: round-trip, parse errors, replay of loaded traces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.apps import build_app
+from repro.trace.mpi import MpiProgram
+from repro.trace.replay import run_trace
+from repro.trace.trace_format import (
+    dump_trace,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+)
+from tests.conftest import single_switch_net
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self):
+        prog = MpiProgram("t", 3)
+        prog.add_send(0, 2, 8, tag=4)
+        prog.add_send(1, 0, 2, tag=0)
+        text = dumps_trace(prog)
+        back = loads_trace(text)
+        assert back.name == "t"
+        assert back.num_ranks == 3
+        assert back.ops == prog.ops
+
+    @pytest.mark.parametrize("app", ["MiniFE", "BIGFFT"])
+    def test_app_traces_round_trip(self, app):
+        prog = build_app(app, 12, size_scale=2, iterations=1)
+        back = loads_trace(dumps_trace(prog))
+        assert back.ops == prog.ops
+        assert back.name == prog.name
+
+    def test_file_round_trip(self, tmp_path):
+        prog = build_app("AMR", 8, size_scale=2, iterations=1)
+        path = tmp_path / "amr.trace"
+        dump_trace(prog, path)
+        back = load_trace(path)
+        assert back.ops == prog.ops
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5),
+                      st.integers(1, 99), st.integers(0, 9)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40)
+    def test_arbitrary_programs_round_trip(self, sends):
+        prog = MpiProgram("fuzz", 6)
+        for src, dst, size, tag in sends:
+            prog.add_send(src, dst, size, tag)
+        assert loads_trace(dumps_trace(prog)).ops == prog.ops
+
+
+class TestParseErrors:
+    def test_missing_ranks_header(self):
+        with pytest.raises(ValueError, match="ranks"):
+            loads_trace("name x\n")
+
+    def test_op_before_header(self):
+        with pytest.raises(ValueError, match="line"):
+            loads_trace("r 0 send 1 4 0\nranks 2\n")
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError, match="line 2"):
+            loads_trace("ranks 2\nr 0 bcast 1 4 0\n")
+
+    def test_malformed_numbers(self):
+        with pytest.raises(ValueError):
+            loads_trace("ranks 2\nr 0 send one 4 0\n")
+
+    def test_unmatched_trace_rejected_by_default(self):
+        text = "ranks 2\nr 0 send 1 4 0\n"
+        with pytest.raises(ValueError, match="unmatched"):
+            loads_trace(text)
+        prog = loads_trace(text, validate=False)  # opt-out for tooling
+        assert prog.total_ops == 1
+
+    def test_comments_and_blank_lines_ignored(self):
+        prog = loads_trace(
+            "# hello\n\nranks 2\n# mid\nr 0 send 1 4 0\nr 1 recv 0 0\n"
+        )
+        assert prog.total_ops == 2
+
+
+class TestReplayLoaded:
+    def test_loaded_trace_replays(self, tmp_path):
+        prog = build_app("MiniFE", 6, size_scale=2, iterations=1)
+        path = tmp_path / "minife.trace"
+        dump_trace(prog, path)
+        net = single_switch_net()
+        cycles = run_trace(net, load_trace(path))
+        assert cycles > 0
