@@ -9,6 +9,9 @@ the crossovers fall.  Absolute cycle counts are simulator-scale specific;
 EXPERIMENTS.md records the paper-vs-measured comparison.
 
 Run:  pytest benchmarks/ --benchmark-only
+Add ``--jobs N`` to fan each sweep's independent points out over N
+worker processes (results are bit-identical for any N; see
+repro.engine.parallel).
 """
 
 from __future__ import annotations
@@ -17,6 +20,22 @@ import pytest
 
 from repro.engine.config import NetworkConfig
 from repro.experiments.common import preset_by_name, quicken
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=1,
+        help="worker processes for experiment sweep points (default: 1)",
+    )
+
+
+@pytest.fixture(scope="session")
+def jobs(request: pytest.FixtureRequest) -> int:
+    """Sweep-executor worker count, from the --jobs command-line flag."""
+    return max(1, int(request.config.getoption("--jobs")))
 
 
 @pytest.fixture(scope="session")

@@ -15,10 +15,11 @@ LOADS = (0.2, 0.5, 0.8)
 
 
 @pytest.mark.benchmark(group="fig5")
-def test_fig5_latency_and_throughput(benchmark, quick_base):
+def test_fig5_latency_and_throughput(benchmark, quick_base, jobs):
     results = run_once(
         benchmark, run_fig5, quick_base, LOADS,
         ("baseline", "stash100", "stash50", "stash25"),
+        jobs=jobs,
     )
 
     def series(variant):

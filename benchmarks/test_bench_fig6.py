@@ -18,10 +18,11 @@ HEAVY_APPS = ("BIGFFT", "FillBoundary")
 
 
 @pytest.mark.benchmark(group="fig6")
-def test_fig6_light_apps_unaffected(benchmark, quick_base):
+def test_fig6_light_apps_unaffected(benchmark, quick_base, jobs):
     runtimes = run_once(
         benchmark, run_fig6, quick_base, LIGHT_APPS,
         ("baseline", "stash100", "stash25"),
+        jobs=jobs,
     )
     norm = normalized_runtimes(runtimes)
     for app in LIGHT_APPS:
@@ -36,11 +37,12 @@ def test_fig6_light_apps_unaffected(benchmark, quick_base):
 
 @pytest.mark.benchmark(group="fig6")
 def test_fig6_bandwidth_apps_degrade_only_when_restricted(
-    benchmark, quick_base
+    benchmark, quick_base, jobs
 ):
     runtimes = run_once(
         benchmark, run_fig6, quick_base, HEAVY_APPS,
         ("baseline", "stash100", "stash25"), 6, 1,
+        jobs=jobs,
     )
     norm = normalized_runtimes(runtimes)
     for app in HEAVY_APPS:

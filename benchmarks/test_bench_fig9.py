@@ -15,10 +15,11 @@ BURSTS = (4, 16, 64)
 
 
 @pytest.mark.benchmark(group="fig9")
-def test_fig9_burst_sweep(benchmark, quick_base):
+def test_fig9_burst_sweep(benchmark, quick_base, jobs):
     results = run_once(
         benchmark, run_fig9, quick_base, BURSTS,
         ("baseline", "stash100"), 0.4,
+        jobs=jobs,
     )
 
     base = results["baseline"]

@@ -9,12 +9,25 @@ the grep-the-log workflow of the original BookSim artifact.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network import Network
 
-__all__ = ["format_report", "network_report"]
+__all__ = ["fmt_float", "format_report", "network_report"]
+
+
+def fmt_float(value: float, spec: str = ".4f") -> str:
+    """Format a metric for a table, rendering NaN as an explicit "n/a".
+
+    Empty :class:`~repro.engine.stats.LatencyStats` and never-measured
+    :class:`~repro.engine.stats.RateMeter` windows report NaN; tables
+    must say so instead of printing a bare ``nan``.
+    """
+    if math.isnan(value):
+        return "n/a"
+    return format(value, spec)
 
 
 def network_report(net: "Network") -> dict[str, Any]:
@@ -123,7 +136,7 @@ def format_report(report: dict[str, Any]) -> str:
         lines.append(f"  [{section}]")
         for key, value in body.items():
             if isinstance(value, float):
-                lines.append(f"    {key:<24} {value:.4f}")
+                lines.append(f"    {key:<24} {fmt_float(value)}")
             else:
                 lines.append(f"    {key:<24} {value}")
     return "\n".join(lines)

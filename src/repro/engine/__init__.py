@@ -17,6 +17,14 @@ from repro.engine.config import (
     small_preset,
     tiny_preset,
 )
+from repro.engine.parallel import (
+    RunOutcome,
+    RunSpec,
+    SweepError,
+    Timed,
+    derive_run_seed,
+    run_specs,
+)
 from repro.engine.rng import DeterministicRng
 from repro.engine.simulator import Component, Simulator
 from repro.engine.stats import (
@@ -37,12 +45,18 @@ __all__ = [
     "NetworkConfig",
     "RateMeter",
     "ReliabilityParams",
+    "RunOutcome",
+    "RunSpec",
     "SimParams",
     "Simulator",
     "StashParams",
+    "SweepError",
     "SwitchParams",
     "TimeSeries",
+    "Timed",
+    "derive_run_seed",
     "paper_preset",
+    "run_specs",
     "small_preset",
     "tiny_preset",
 ]

@@ -13,7 +13,7 @@ travel opposite to flits on the paired reverse wire.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Generic, Iterator, TypeVar
+from typing import Any, Generic, TypeVar
 
 T = TypeVar("T")
 
@@ -40,11 +40,21 @@ class Channel(Generic[T]):
         """
         self._queue.append((cycle + self.latency, item))
 
-    def recv_ready(self, cycle: int) -> Iterator[T]:
-        """Yield every item whose delivery time has arrived."""
+    def recv_ready(self, cycle: int) -> list[T]:
+        """Every item whose delivery time has arrived, drained eagerly.
+
+        Returns a list rather than a lazy generator: a caller that stops
+        iterating early must not leave already-due items queued for a
+        later cycle, which would silently reorder delivery relative to
+        the credits accompanying them.
+        """
         q = self._queue
+        if not q or q[0][0] > cycle:
+            return []
+        out: list[T] = []
         while q and q[0][0] <= cycle:
-            yield q.popleft()[1]
+            out.append(q.popleft()[1])
+        return out
 
     def peek_ready(self, cycle: int) -> T | None:
         if self._queue and self._queue[0][0] <= cycle:

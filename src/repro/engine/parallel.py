@@ -1,0 +1,190 @@
+"""Parallel deterministic sweep execution.
+
+Every experiment in this reproduction is a sweep of *independent*
+simulation points (per-load, per-variant, per-app, ...).  This module
+runs such sweeps across a process pool without sacrificing the
+engine's core guarantee: **same config + seed => bit-identical
+results, regardless of worker count or completion order**.
+
+The contract has three parts:
+
+* :class:`RunSpec` — one picklable simulation point: a module-level
+  callable, its arguments, and a pre-derived per-run seed.  Because the
+  seed is derived *when the spec is built* (from the experiment seed and
+  the point's stable label via :meth:`DeterministicRng.fork`), it does
+  not depend on which worker executes the point or when.
+* :func:`run_specs` — the executor.  ``jobs <= 1`` runs every spec
+  in-process (the default; no pool, no pickling overhead), ``jobs > 1``
+  fans out over a :class:`~concurrent.futures.ProcessPoolExecutor` with
+  bounded retry when a worker crashes.  Either way the returned list is
+  in spec order.
+* :class:`RunOutcome` — per-run wall-clock timing (and simulated
+  cycles-per-second when the point function reports cycles via
+  :class:`Timed`), so sweeps can account for where the time went.
+
+Point functions must be module-level (picklable by reference) and accept
+a ``seed`` keyword argument when the spec carries one.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.engine.rng import DeterministicRng
+
+__all__ = [
+    "RunOutcome",
+    "RunSpec",
+    "SweepError",
+    "Timed",
+    "derive_run_seed",
+    "run_specs",
+]
+
+
+def derive_run_seed(base_seed: int, label: str) -> int:
+    """The per-run seed for the sweep point labelled ``label``.
+
+    Depends only on the experiment seed and the label — never on worker
+    count, scheduling, or completion order — so a sweep is bit-identical
+    however it is executed.
+    """
+    return DeterministicRng(base_seed).fork(label).seed
+
+
+@dataclass(frozen=True)
+class Timed:
+    """Optional return wrapper: a point's value plus its simulated cycle
+    count, enabling cycles-per-second reporting in :class:`RunOutcome`."""
+
+    value: Any
+    cycles: int
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation point of a sweep.
+
+    ``fn`` must be a module-level callable and ``args``/``kwargs`` plain
+    picklable data (the config dataclasses are).  When ``seed`` is set,
+    the executor passes it to ``fn`` as a ``seed`` keyword argument.
+    """
+
+    key: Any
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    seed: int | None = None
+
+
+@dataclass
+class RunOutcome:
+    """The result of executing one :class:`RunSpec`."""
+
+    key: Any
+    value: Any
+    seed: int | None
+    wall_seconds: float
+    cycles: int | None
+    attempts: int
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Simulated cycles per wall-clock second (0.0 if unknown)."""
+        if not self.cycles or self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cycles / self.wall_seconds
+
+
+class SweepError(RuntimeError):
+    """A sweep point kept failing after its retry budget was exhausted."""
+
+
+def _run_point(index: int, spec: RunSpec) -> tuple[int, Any, float, int | None]:
+    """Execute one spec (in-process or inside a pool worker)."""
+    kwargs = dict(spec.kwargs)
+    if spec.seed is not None:
+        kwargs["seed"] = spec.seed
+    t0 = time.perf_counter()
+    value = spec.fn(*spec.args, **kwargs)
+    wall = time.perf_counter() - t0
+    cycles: int | None = None
+    if isinstance(value, Timed):
+        value, cycles = value.value, value.cycles
+    return index, value, wall, cycles
+
+
+def run_specs(
+    specs: Iterable[RunSpec],
+    jobs: int = 1,
+    max_retries: int = 1,
+    progress: Callable[[int, int, RunOutcome], None] | None = None,
+) -> list[RunOutcome]:
+    """Execute every spec and return outcomes **in spec order**.
+
+    ``jobs <= 1`` (the default) runs serially in-process — exactly the
+    pre-pool behavior, with no worker processes spawned.  ``jobs > 1``
+    fans out over a process pool; a spec whose worker crashes (or
+    raises) is resubmitted up to ``max_retries`` extra times before
+    :class:`SweepError` is raised.  ``progress`` (if given) is called as
+    ``progress(done, total, outcome)`` after each point completes.
+
+    Because every spec carries its own pre-derived seed, the results are
+    identical for any ``jobs`` value.
+    """
+    specs = list(specs)
+    total = len(specs)
+    results: list[RunOutcome | None] = [None] * total
+    done = 0
+
+    def finish(i: int, value: Any, wall: float, cycles: int | None,
+               attempts: int) -> None:
+        nonlocal done
+        outcome = RunOutcome(
+            key=specs[i].key,
+            value=value,
+            seed=specs[i].seed,
+            wall_seconds=wall,
+            cycles=cycles,
+            attempts=attempts,
+        )
+        results[i] = outcome
+        done += 1
+        if progress is not None:
+            progress(done, total, outcome)
+
+    if jobs <= 1 or total <= 1:
+        for i, spec in enumerate(specs):
+            _, value, wall, cycles = _run_point(i, spec)
+            finish(i, value, wall, cycles, attempts=1)
+        return results  # type: ignore[return-value]
+
+    attempts = [0] * total
+    pending = list(range(total))
+    while pending:
+        for i in pending:
+            attempts[i] += 1
+        retry: list[int] = []
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_run_point, i, specs[i]): i for i in pending
+            }
+            for fut in as_completed(futures):
+                i = futures[fut]
+                try:
+                    _, value, wall, cycles = fut.result()
+                except Exception as exc:
+                    # worker crash (BrokenProcessPool) or raised exception
+                    if attempts[i] > max_retries:
+                        raise SweepError(
+                            f"sweep point {specs[i].key!r} failed after "
+                            f"{attempts[i]} attempt(s): {exc!r}"
+                        ) from exc
+                    retry.append(i)
+                    continue
+                finish(i, value, wall, cycles, attempts=attempts[i])
+        pending = retry
+    return results  # type: ignore[return-value]

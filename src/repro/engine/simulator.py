@@ -33,16 +33,23 @@ class Simulator:
     def __init__(self) -> None:
         self.cycle = 0
         self._components: list[Component] = []
-        self._samplers: list[tuple[int, Callable[[int], None]]] = []
+        self._samplers: list[tuple[int, int, Callable[[int], None]]] = []
 
     def add(self, component: Component) -> None:
         self._components.append(component)
 
     def add_sampler(self, period: int, fn: Callable[[int], None]) -> None:
-        """Call ``fn(cycle)`` every ``period`` cycles (probes, monitors)."""
+        """Call ``fn(cycle)`` every ``period`` cycles (probes, monitors).
+
+        The sampler's phase is anchored to the cycle it is registered:
+        the first call happens at the current cycle (if the simulator is
+        about to execute it) and then every ``period`` cycles after, so
+        a probe added mid-run (e.g. after warmup) samples aligned with
+        its registration point rather than with absolute cycle zero.
+        """
         if period < 1:
             raise ValueError("sampler period must be >= 1")
-        self._samplers.append((period, fn))
+        self._samplers.append((period, self.cycle, fn))
 
     def run(self, cycles: int) -> None:
         """Advance exactly ``cycles`` cycles."""
@@ -53,8 +60,8 @@ class Simulator:
             cycle = self.cycle
             for component in components:
                 component.step(cycle)
-            for period, fn in samplers:
-                if cycle % period == 0:
+            for period, anchor, fn in samplers:
+                if (cycle - anchor) % period == 0:
                     fn(cycle)
             self.cycle = cycle + 1
 

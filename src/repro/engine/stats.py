@@ -111,11 +111,24 @@ class RateMeter:
             self.count += amount
 
     def rate(self) -> float:
-        """Events per cycle over the closed window."""
+        """Events per cycle over the closed window.
+
+        NaN means "never measured" (no window was opened and closed);
+        consumers must render it explicitly (see
+        :func:`repro.analysis.report.fmt_float`).  A degenerate
+        zero-span window is 0.0 when empty and an error when events were
+        somehow recorded into it — a rate over no time is meaningless.
+        """
         if self._window_start is None or self._window_end is None:
             return math.nan
         span = self._window_end - self._window_start
-        return self.count / span if span > 0 else math.nan
+        if span <= 0:
+            if self.count:
+                raise ValueError(
+                    f"{self.count} events recorded in a zero-span window"
+                )
+            return 0.0
+        return self.count / span
 
 
 class TimeSeries:

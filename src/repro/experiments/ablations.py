@@ -21,6 +21,7 @@ from repro.analysis.littles_law import (
     stash_per_endpoint_flits,
 )
 from repro.engine.config import NetworkConfig, ReliabilityParams
+from repro.engine.parallel import RunSpec, Timed, derive_run_seed, run_specs
 from repro.experiments.common import preset_by_name, reliability_network
 from repro.network import Network
 
@@ -32,62 +33,118 @@ __all__ = [
 ]
 
 
-def _reliability_net(base: NetworkConfig, **stash_overrides) -> Network:
-    cfg = base.with_(
+def _with_seed(cfg: NetworkConfig, seed: int | None) -> NetworkConfig:
+    if seed is None:
+        return cfg
+    return cfg.with_(sim=replace(cfg.sim, seed=seed))
+
+
+def _reliability_net(
+    base: NetworkConfig, seed: int | None = None, **stash_overrides
+) -> Network:
+    cfg = _with_seed(base, seed).with_(
         stash=replace(base.stash, enabled=True, **stash_overrides),
         reliability=ReliabilityParams(enabled=True),
     )
     return Network(cfg)
 
 
+def _speedup_point(
+    base: NetworkConfig, speedup: float, load: float, seed: int
+) -> Timed:
+    cfg = base.with_(switch=replace(base.switch, speedup=speedup))
+    net = _reliability_net(cfg, seed=seed)
+    net.add_uniform_traffic(rate=load)
+    res = net.run_standard()
+    return Timed((speedup, res.accepted_load, res.avg_latency), net.sim.cycle)
+
+
 def run_speedup_ablation(
     base: NetworkConfig | None = None,
     speedups: tuple[float, ...] = (1.0, 1.15, 1.3, 1.5),
     load: float = 0.7,
+    jobs: int = 1,
+    progress=None,
 ) -> list[tuple[float, float, float]]:
     """Returns [(speedup, accepted load, avg latency)] with reliability
     stashing at full capacity."""
     base = base or preset_by_name("tiny")
-    out = []
-    for speedup in speedups:
-        cfg = base.with_(switch=replace(base.switch, speedup=speedup))
-        net = _reliability_net(cfg)
-        net.add_uniform_traffic(rate=load)
-        res = net.run_standard()
-        out.append((speedup, res.accepted_load, res.avg_latency))
-    return out
+    specs = [
+        RunSpec(
+            key=("speedup", s),
+            fn=_speedup_point,
+            args=(base, s, load),
+            seed=derive_run_seed(base.sim.seed, f"ablation:speedup:{s!r}"),
+        )
+        for s in speedups
+    ]
+    return [o.value for o in run_specs(specs, jobs=jobs, progress=progress)]
+
+
+def _placement_point(
+    base: NetworkConfig,
+    placement: str,
+    load: float,
+    capacity_scale: float,
+    seed: int,
+) -> Timed:
+    net = _reliability_net(
+        base, seed=seed, capacity_scale=capacity_scale, placement=placement
+    )
+    net.add_uniform_traffic(rate=load)
+    res = net.run_standard()
+    stalls = sum(
+        ip.stall_no_stash for sw in net.switches for ip in sw.in_ports
+    )
+    row = {
+        "accepted": res.accepted_load,
+        "avg_latency": res.avg_latency,
+        "stash_stalls": float(stalls),
+    }
+    return Timed((placement, row), net.sim.cycle)
 
 
 def run_placement_ablation(
     base: NetworkConfig | None = None,
     load: float = 0.7,
     capacity_scale: float = 0.5,
+    jobs: int = 1,
+    progress=None,
 ) -> dict[str, dict[str, float]]:
     """JSQ vs random stash placement under reliability at reduced
     capacity (where placement balance matters most)."""
     base = base or preset_by_name("tiny")
-    out: dict[str, dict[str, float]] = {}
-    for placement in ("jsq", "random"):
-        net = _reliability_net(
-            base, capacity_scale=capacity_scale, placement=placement
+    specs = [
+        RunSpec(
+            key=("placement", placement),
+            fn=_placement_point,
+            args=(base, placement, load, capacity_scale),
+            seed=derive_run_seed(
+                base.sim.seed, f"ablation:placement:{placement}"
+            ),
         )
-        net.add_uniform_traffic(rate=load)
-        res = net.run_standard()
-        stalls = sum(
-            ip.stall_no_stash for sw in net.switches for ip in sw.in_ports
-        )
-        out[placement] = {
-            "accepted": res.accepted_load,
-            "avg_latency": res.avg_latency,
-            "stash_stalls": float(stalls),
-        }
-    return out
+        for placement in ("jsq", "random")
+    ]
+    outcomes = run_specs(specs, jobs=jobs, progress=progress)
+    return {o.value[0]: o.value[1] for o in outcomes}
+
+
+def _littles_point(
+    base: NetworkConfig, variant: str, load: float, seed: int
+) -> Timed:
+    net = reliability_network(base, variant, seed=seed)
+    net.add_uniform_traffic(rate=load)
+    res = net.run_standard()
+    point = (load, res.offered_load, res.accepted_load, res.avg_latency)
+    return Timed(point, net.sim.cycle)
 
 
 def run_littles_law_check(
     base: NetworkConfig | None = None,
     capacity_scale: float = 0.25,
     loads: tuple[float, ...] = (0.2, 0.7),
+    jobs: int = 1,
+    progress=None,
 ) -> dict:
     """A1: compare the Little's-law saturation bound against the simulated
     accepted throughput of the capacity-restricted network.
@@ -103,15 +160,23 @@ def run_littles_law_check(
     per_ep = stash_per_endpoint_flits(cfg)
     variant = "stash25" if capacity_scale == 0.25 else "stash50"
 
+    specs = [
+        RunSpec(
+            key=("littles", load),
+            fn=_littles_point,
+            args=(base, variant, load),
+            seed=derive_run_seed(base.sim.seed, f"ablation:littles:{load!r}"),
+        )
+        for load in sorted(loads)
+    ]
+    outcomes = run_specs(specs, jobs=jobs, progress=progress)
+
     best_accepted = 0.0
     rtt_estimate = None
-    for load in sorted(loads):
-        net = reliability_network(base, variant)
-        net.add_uniform_traffic(rate=load)
-        res = net.run_standard()
-        best_accepted = max(best_accepted, res.accepted_load)
-        if res.accepted_load >= 0.9 * res.offered_load:
-            rtt_estimate = 2.0 * res.avg_latency  # pre-saturation sample
+    for _load, offered, accepted, avg_latency in (o.value for o in outcomes):
+        best_accepted = max(best_accepted, accepted)
+        if accepted >= 0.9 * offered:
+            rtt_estimate = 2.0 * avg_latency  # pre-saturation sample
     if rtt_estimate is None:
         raise RuntimeError(
             "no pre-saturation load point; add a lower load to the sweep"

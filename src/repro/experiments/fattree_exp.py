@@ -13,13 +13,14 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.engine.config import NetworkConfig, ReliabilityParams, StashParams
+from repro.engine.parallel import RunSpec, Timed, derive_run_seed, run_specs
 from repro.engine.rng import DeterministicRng
 from repro.experiments.common import preset_by_name
 from repro.network import Network
 from repro.routing.fattree_routing import FatTreeRouter
 from repro.topology.fattree import FatTreeTopology
 
-__all__ = ["format_fattree", "run_fattree_reliability"]
+__all__ = ["fattree_specs", "format_fattree", "run_fattree_reliability"]
 
 VARIANTS = {"baseline": None, "stash100": 1.0, "stash25": 0.25}
 
@@ -53,24 +54,52 @@ def _build(base: NetworkConfig, scale: float | None, seed: int) -> Network:
     return Network(cfg, topology=topo, router=router)
 
 
+def _fattree_point(
+    base: NetworkConfig, variant: str, load: float, seed: int
+) -> Timed:
+    net = _build(base, VARIANTS[variant], seed)
+    net.add_uniform_traffic(rate=load)
+    res = net.run_standard()
+    point = (res.offered_load, res.accepted_load, res.avg_latency)
+    return Timed(point, net.sim.cycle)
+
+
+def fattree_specs(
+    base: NetworkConfig,
+    loads: tuple[float, ...] = (0.3, 0.7),
+    variants: tuple[str, ...] = tuple(VARIANTS),
+    seed: int = 1,
+) -> list[RunSpec]:
+    """One spec per (variant, load) sweep point."""
+    return [
+        RunSpec(
+            key=(variant, load),
+            fn=_fattree_point,
+            args=(base, variant, load),
+            seed=derive_run_seed(seed, f"fattree:{variant}:{load!r}"),
+        )
+        for variant in variants
+        for load in loads
+    ]
+
+
 def run_fattree_reliability(
     base: NetworkConfig | None = None,
     loads: tuple[float, ...] = (0.3, 0.7),
     variants: tuple[str, ...] = tuple(VARIANTS),
     seed: int = 1,
+    jobs: int = 1,
+    progress=None,
 ) -> dict[str, list[tuple[float, float, float]]]:
     """Returns variant -> [(offered, accepted, avg_latency)]."""
     base = base or preset_by_name("tiny")
-    results: dict[str, list[tuple[float, float, float]]] = {}
-    for variant in variants:
-        series = []
-        for load in loads:
-            net = _build(base, VARIANTS[variant], seed)
-            net.add_uniform_traffic(rate=load)
-            res = net.run_standard()
-            series.append((res.offered_load, res.accepted_load,
-                           res.avg_latency))
-        results[variant] = series
+    specs = fattree_specs(base, loads, variants, seed)
+    outcomes = run_specs(specs, jobs=jobs, progress=progress)
+    results: dict[str, list[tuple[float, float, float]]] = {
+        v: [] for v in variants
+    }
+    for outcome in outcomes:
+        results[outcome.key[0]].append(outcome.value)
     return results
 
 

@@ -13,13 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.engine.config import NetworkConfig
+from repro.engine.parallel import RunSpec, Timed, derive_run_seed, run_specs
 from repro.experiments.common import (
     RELIABILITY_VARIANTS,
     preset_by_name,
     reliability_network,
 )
 
-__all__ = ["Fig5Point", "format_fig5", "run_fig5"]
+__all__ = ["Fig5Point", "fig5_specs", "format_fig5", "run_fig5"]
 
 DEFAULT_LOADS = (0.1, 0.3, 0.5, 0.7, 0.8, 0.9)
 
@@ -32,30 +33,60 @@ class Fig5Point:
     p99_latency: float
 
 
+def _fig5_point(
+    base: NetworkConfig,
+    variant: str,
+    load: float,
+    msg_flits: int | None,
+    seed: int,
+) -> Timed:
+    net = reliability_network(base, variant, seed=seed)
+    net.add_uniform_traffic(rate=load, msg_flits=msg_flits)
+    res = net.run_standard()
+    point = Fig5Point(
+        offered=res.offered_load,
+        accepted=res.accepted_load,
+        avg_latency=res.avg_latency,
+        p99_latency=res.p99_latency,
+    )
+    return Timed(point, net.sim.cycle)
+
+
+def fig5_specs(
+    base: NetworkConfig,
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    variants: tuple[str, ...] = tuple(RELIABILITY_VARIANTS),
+    msg_flits: int | None = None,
+    seed: int = 1,
+) -> list[RunSpec]:
+    """One spec per (variant, load) sweep point."""
+    return [
+        RunSpec(
+            key=(variant, load),
+            fn=_fig5_point,
+            args=(base, variant, load, msg_flits),
+            seed=derive_run_seed(seed, f"fig5:{variant}:{load!r}"),
+        )
+        for variant in variants
+        for load in loads
+    ]
+
+
 def run_fig5(
     base: NetworkConfig | None = None,
     loads: tuple[float, ...] = DEFAULT_LOADS,
     variants: tuple[str, ...] = tuple(RELIABILITY_VARIANTS),
     msg_flits: int | None = None,
     seed: int = 1,
+    jobs: int = 1,
+    progress=None,
 ) -> dict[str, list[Fig5Point]]:
     base = base or preset_by_name("tiny")
-    results: dict[str, list[Fig5Point]] = {}
-    for variant in variants:
-        points: list[Fig5Point] = []
-        for load in loads:
-            net = reliability_network(base, variant, seed=seed)
-            net.add_uniform_traffic(rate=load, msg_flits=msg_flits)
-            res = net.run_standard()
-            points.append(
-                Fig5Point(
-                    offered=res.offered_load,
-                    accepted=res.accepted_load,
-                    avg_latency=res.avg_latency,
-                    p99_latency=res.p99_latency,
-                )
-            )
-        results[variant] = points
+    specs = fig5_specs(base, loads, variants, msg_flits, seed)
+    outcomes = run_specs(specs, jobs=jobs, progress=progress)
+    results: dict[str, list[Fig5Point]] = {v: [] for v in variants}
+    for outcome in outcomes:
+        results[outcome.key[0]].append(outcome.value)
     return results
 
 

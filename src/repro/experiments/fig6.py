@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.analysis.metrics import normalized_runtimes
 from repro.engine.config import NetworkConfig
+from repro.engine.parallel import RunSpec, Timed, derive_run_seed, run_specs
 from repro.experiments.common import (
     RELIABILITY_VARIANTS,
     preset_by_name,
@@ -20,9 +21,49 @@ from repro.experiments.common import (
 from repro.trace import build_app, run_trace
 from repro.trace.apps import APP_REGISTRY
 
-__all__ = ["format_fig6", "run_fig6"]
+__all__ = ["fig6_specs", "format_fig6", "run_fig6"]
 
 DEFAULT_APPS = tuple(APP_REGISTRY)
+
+
+def _fig6_point(
+    base: NetworkConfig,
+    app: str,
+    variant: str,
+    size_scale: int,
+    iterations: int,
+    max_cycles: int,
+    seed: int,
+) -> Timed:
+    net = reliability_network(base, variant, seed=seed)
+    prog = build_app(
+        app, net.topology.num_nodes, size_scale=size_scale,
+        iterations=iterations,
+    )
+    runtime = float(run_trace(net, prog, max_cycles))
+    return Timed(runtime, net.sim.cycle)
+
+
+def fig6_specs(
+    base: NetworkConfig,
+    apps: tuple[str, ...] = DEFAULT_APPS,
+    variants: tuple[str, ...] = tuple(RELIABILITY_VARIANTS),
+    size_scale: int = 4,
+    iterations: int = 1,
+    seed: int = 1,
+    max_cycles: int = 2_000_000,
+) -> list[RunSpec]:
+    """One spec per (app, variant) trace replay."""
+    return [
+        RunSpec(
+            key=(app, variant),
+            fn=_fig6_point,
+            args=(base, app, variant, size_scale, iterations, max_cycles),
+            seed=derive_run_seed(seed, f"fig6:{app}:{variant}"),
+        )
+        for app in apps
+        for variant in variants
+    ]
 
 
 def run_fig6(
@@ -33,19 +74,19 @@ def run_fig6(
     iterations: int = 1,
     seed: int = 1,
     max_cycles: int = 2_000_000,
+    jobs: int = 1,
+    progress=None,
 ) -> dict[str, dict[str, float]]:
     """Returns app -> variant -> execution cycles (absolute)."""
     base = base or preset_by_name("tiny")
-    runtimes: dict[str, dict[str, float]] = {}
-    for app in apps:
-        runtimes[app] = {}
-        for variant in variants:
-            net = reliability_network(base, variant, seed=seed)
-            prog = build_app(
-                app, net.topology.num_nodes, size_scale=size_scale,
-                iterations=iterations,
-            )
-            runtimes[app][variant] = float(run_trace(net, prog, max_cycles))
+    specs = fig6_specs(
+        base, apps, variants, size_scale, iterations, seed, max_cycles
+    )
+    outcomes = run_specs(specs, jobs=jobs, progress=progress)
+    runtimes: dict[str, dict[str, float]] = {app: {} for app in apps}
+    for outcome in outcomes:
+        app, variant = outcome.key
+        runtimes[app][variant] = outcome.value
     return runtimes
 
 

@@ -15,6 +15,7 @@ below the baseline at every burst size.
 from __future__ import annotations
 
 from repro.engine.config import NetworkConfig
+from repro.engine.parallel import RunSpec, Timed, derive_run_seed, run_specs
 from repro.experiments.common import (
     CONGESTION_VARIANTS,
     congestion_network,
@@ -22,9 +23,53 @@ from repro.experiments.common import (
 )
 from repro.traffic.aggressor import uniform_aggressor_scenario
 
-__all__ = ["format_fig9", "run_fig9"]
+__all__ = ["fig9_specs", "format_fig9", "run_fig9"]
 
 DEFAULT_BURSTS_PKTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _fig9_point(
+    base: NetworkConfig,
+    variant: str,
+    burst: int,
+    victim_rate: float,
+    percentile: float,
+    seed: int,
+) -> Timed:
+    net = congestion_network(base, variant, seed=seed)
+    uniform_aggressor_scenario(
+        net,
+        burst_flits=burst * base.switch.max_packet_flits,
+        victim_rate=victim_rate,
+    )
+    net.sim.run(base.sim.warmup_cycles)
+    net.open_measurement()
+    net.sim.run(base.sim.measure_cycles)
+    net.close_measurement()
+    stats = net.group_latency["victim"]
+    point = (burst, stats.percentile(percentile), net.result().accepted_load)
+    return Timed(point, net.sim.cycle)
+
+
+def fig9_specs(
+    base: NetworkConfig,
+    bursts_pkts: tuple[int, ...] = DEFAULT_BURSTS_PKTS,
+    variants: tuple[str, ...] = tuple(CONGESTION_VARIANTS),
+    victim_rate: float = 0.4,
+    percentile: float = 90.0,
+    seed: int = 1,
+) -> list[RunSpec]:
+    """One spec per (variant, burst size) sweep point."""
+    return [
+        RunSpec(
+            key=(variant, burst),
+            fn=_fig9_point,
+            args=(base, variant, burst, victim_rate, percentile),
+            seed=derive_run_seed(seed, f"fig9:{variant}:{burst}"),
+        )
+        for variant in variants
+        for burst in bursts_pkts
+    ]
 
 
 def run_fig9(
@@ -34,29 +79,22 @@ def run_fig9(
     victim_rate: float = 0.4,
     percentile: float = 90.0,
     seed: int = 1,
+    jobs: int = 1,
+    progress=None,
 ) -> dict[str, list[tuple[int, float, float]]]:
     """Returns variant -> [(burst_pkts, victim pXX latency, victim
     accepted load)] — the paper notes victim throughput holds at 40 %
     across the sweep while latency diverges."""
     base = base or preset_by_name("tiny")
-    pkt = base.switch.max_packet_flits
-    results: dict[str, list[tuple[int, float, float]]] = {}
-    for variant in variants:
-        series: list[tuple[int, float, float]] = []
-        for burst in bursts_pkts:
-            net = congestion_network(base, variant, seed=seed)
-            uniform_aggressor_scenario(
-                net, burst_flits=burst * pkt, victim_rate=victim_rate
-            )
-            net.sim.run(base.sim.warmup_cycles)
-            net.open_measurement()
-            net.sim.run(base.sim.measure_cycles)
-            net.close_measurement()
-            stats = net.group_latency["victim"]
-            series.append(
-                (burst, stats.percentile(percentile), net.result().accepted_load)
-            )
-        results[variant] = series
+    specs = fig9_specs(
+        base, bursts_pkts, variants, victim_rate, percentile, seed
+    )
+    outcomes = run_specs(specs, jobs=jobs, progress=progress)
+    results: dict[str, list[tuple[int, float, float]]] = {
+        v: [] for v in variants
+    }
+    for outcome in outcomes:
+        results[outcome.key[0]].append(outcome.value)
     return results
 
 

@@ -10,13 +10,19 @@ the whole paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.engine.config import NetworkConfig
+from repro.engine.parallel import RunSpec, Timed, derive_run_seed, run_specs
 from repro.experiments.common import preset_by_name
 from repro.network import Network
 
-__all__ = ["OccupancyRow", "format_occupancy", "run_occupancy_census"]
+__all__ = [
+    "OccupancyRow",
+    "format_occupancy",
+    "occupancy_specs",
+    "run_occupancy_census",
+]
 
 
 @dataclass(frozen=True)
@@ -33,14 +39,14 @@ class OccupancyRow:
         return 1.0 - self.peak_flits / self.capacity_flits
 
 
-def run_occupancy_census(
-    base: NetworkConfig | None = None,
-    load: float = 0.6,
-    seed: int = 1,
-    sample_period: int = 20,
-) -> list[OccupancyRow]:
-    base = base or preset_by_name("tiny")
-    net = Network(base)  # baseline: full symmetric buffers everywhere
+def _census_point(
+    base: NetworkConfig,
+    load: float,
+    sample_period: int,
+    seed: int,
+) -> Timed:
+    cfg = base.with_(sim=replace(base.sim, seed=seed))
+    net = Network(cfg)  # baseline: full symmetric buffers everywhere
     net.add_uniform_traffic(rate=load)
 
     topo = net.topology
@@ -82,7 +88,39 @@ def run_occupancy_census(
                 mean_peak_flits=sum(peaks) / len(peaks),
             )
         )
-    return rows
+    return Timed(rows, net.sim.cycle)
+
+
+def occupancy_specs(
+    base: NetworkConfig,
+    load: float = 0.6,
+    seed: int = 1,
+    sample_period: int = 20,
+) -> list[RunSpec]:
+    """The census is a single simulation, expressed as one run spec so
+    it schedules uniformly alongside the other sweeps."""
+    return [
+        RunSpec(
+            key=("census", load),
+            fn=_census_point,
+            args=(base, load, sample_period),
+            seed=derive_run_seed(seed, f"occupancy:{load!r}"),
+        )
+    ]
+
+
+def run_occupancy_census(
+    base: NetworkConfig | None = None,
+    load: float = 0.6,
+    seed: int = 1,
+    sample_period: int = 20,
+    jobs: int = 1,
+    progress=None,
+) -> list[OccupancyRow]:
+    base = base or preset_by_name("tiny")
+    specs = occupancy_specs(base, load, seed, sample_period)
+    outcomes = run_specs(specs, jobs=jobs, progress=progress)
+    return outcomes[0].value
 
 
 def format_occupancy(rows: list[OccupancyRow], load: float = 0.6) -> str:

@@ -4,8 +4,15 @@ Usage::
 
     repro-experiments table1
     repro-experiments fig5 --preset tiny --quick
+    repro-experiments fig5 --quick --jobs 4
     repro-experiments all --quick
     python -m repro.experiments.runner fig7
+
+``--jobs N`` runs each experiment's independent sweep points across N
+worker processes.  Results are bit-identical for any N (every point
+carries a pre-derived seed; see :mod:`repro.engine.parallel`), so the
+flag only changes wall-clock time.  Progress lines go to stderr; stdout
+carries exactly the formatted tables/figures.
 """
 
 from __future__ import annotations
@@ -32,7 +39,24 @@ EXPERIMENTS = (
 )
 
 
-def _run_one(name: str, base, quick: bool) -> str:
+def _progress_printer(name: str):
+    """A run_specs progress callback reporting per-point timing on
+    stderr (stdout must stay byte-identical across --jobs values)."""
+
+    def progress(done: int, total: int, outcome) -> None:
+        cps = outcome.cycles_per_second
+        cps_txt = f", {cps:.0f} cyc/s" if cps else ""
+        print(
+            f"[{name} {done}/{total}] {outcome.key!r} "
+            f"({outcome.wall_seconds:.1f}s{cps_txt})",
+            file=sys.stderr,
+        )
+
+    return progress
+
+
+def _run_one(name: str, base, quick: bool, jobs: int = 1) -> str:
+    progress = _progress_printer(name)
     if name == "table1":
         from repro.experiments.tables import format_table1, run_table1
 
@@ -40,18 +64,22 @@ def _run_one(name: str, base, quick: bool) -> str:
     if name == "table2":
         from repro.experiments.tables import format_table2, run_table2
 
-        return format_table2(run_table2())
+        return format_table2(run_table2(jobs=jobs, progress=progress))
     if name == "fig5":
         from repro.experiments.fig5 import format_fig5, run_fig5
 
         loads = (0.2, 0.5, 0.8) if quick else (0.1, 0.3, 0.5, 0.7, 0.8, 0.9)
-        return format_fig5(run_fig5(base, loads=loads))
+        return format_fig5(
+            run_fig5(base, loads=loads, jobs=jobs, progress=progress)
+        )
     if name == "fig6":
         from repro.experiments.fig6 import format_fig6, run_fig6
 
         apps = ("BIGFFT", "MiniFE") if quick else None
         kwargs = {"apps": apps} if apps else {}
-        return format_fig6(run_fig6(base, **kwargs))
+        return format_fig6(
+            run_fig6(base, jobs=jobs, progress=progress, **kwargs)
+        )
     if name == "fig7":
         from repro.experiments.fig7 import format_fig7, run_fig7
 
@@ -64,14 +92,18 @@ def _run_one(name: str, base, quick: bool) -> str:
         from repro.experiments.fig9 import format_fig9, run_fig9
 
         bursts = (1, 8, 32) if quick else (1, 2, 4, 8, 16, 32, 64)
-        return format_fig9(run_fig9(base, bursts_pkts=bursts))
+        return format_fig9(
+            run_fig9(base, bursts_pkts=bursts, jobs=jobs, progress=progress)
+        )
     if name == "occupancy":
         from repro.experiments.occupancy import (
             format_occupancy,
             run_occupancy_census,
         )
 
-        return format_occupancy(run_occupancy_census(base))
+        return format_occupancy(
+            run_occupancy_census(base, jobs=jobs, progress=progress)
+        )
     if name == "fattree":
         from repro.experiments.fattree_exp import (
             format_fattree,
@@ -79,7 +111,11 @@ def _run_one(name: str, base, quick: bool) -> str:
         )
 
         loads = (0.3,) if quick else (0.3, 0.7)
-        return format_fattree(run_fattree_reliability(base, loads=loads))
+        return format_fattree(
+            run_fattree_reliability(
+                base, loads=loads, jobs=jobs, progress=progress
+            )
+        )
     if name == "ablation":
         from repro.experiments.ablations import (
             format_ablations,
@@ -90,9 +126,11 @@ def _run_one(name: str, base, quick: bool) -> str:
 
         speedups = (1.0, 1.3) if quick else (1.0, 1.15, 1.3, 1.5)
         return format_ablations(
-            run_speedup_ablation(base, speedups=speedups),
-            run_placement_ablation(base),
-            run_littles_law_check(base),
+            run_speedup_ablation(
+                base, speedups=speedups, jobs=jobs, progress=progress
+            ),
+            run_placement_ablation(base, jobs=jobs, progress=progress),
+            run_littles_law_check(base, jobs=jobs, progress=progress),
         )
     raise ValueError(f"unknown experiment {name!r}")
 
@@ -124,7 +162,17 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="override the preset's RNG seed",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep points (default: 1 = serial; "
+        "results are bit-identical for any N)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     base = preset_by_name(args.preset)
     if args.quick:
@@ -138,8 +186,11 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         t0 = time.time()
         print(f"=== {name} (preset={args.preset}) ===")
-        print(_run_one(name, base, args.quick))
-        print(f"--- {name} done in {time.time() - t0:.1f}s ---\n")
+        print(_run_one(name, base, args.quick, jobs=args.jobs))
+        print()
+        # wall-clock varies run to run; keep stdout deterministic
+        print(f"--- {name} done in {time.time() - t0:.1f}s ---",
+              file=sys.stderr)
     return 0
 
 

@@ -76,16 +76,38 @@ class StashingSwitch(TiledSwitch):
     # -- buffer partitioning -------------------------------------------
 
     @staticmethod
+    def _normal_partition_flits(
+        buffer_flits: int, max_packet_flits: int, normal_fraction: float
+    ) -> int:
+        """Normal-partition size of one buffer: the non-stash fraction,
+        floored at two maximum packets so the port can always make
+        forward progress."""
+        return max(
+            max_packet_flits * 2, int(buffer_flits * normal_fraction)
+        )
+
+    @classmethod
     def _port_stash_flits(
-        cfg: SwitchParams, stash: StashParams, spec: PortSpec
+        cls, cfg: SwitchParams, stash: StashParams, spec: PortSpec
     ) -> int:
         """Pooled stash capacity of one port: the configured fraction of
-        its input + output buffers, scaled by the sensitivity knob."""
+        its input + output buffers, scaled by the sensitivity knob —
+        clamped so normal + stash never exceeds the port's physical
+        buffering.  The two-packet floor on the normal partitions can
+        otherwise push small buffers past their configured capacity,
+        silently simulating storage the switch does not have.
+        """
         if spec.link_class == "unused":
             return 0
         frac = stash.fraction_for(spec.link_class)
-        pooled = frac * (cfg.input_buffer_flits + cfg.output_buffer_flits)
-        return int(pooled * stash.capacity_scale)
+        total = cfg.input_buffer_flits + cfg.output_buffer_flits
+        pooled = int(frac * total * stash.capacity_scale)
+        normal = cls._normal_partition_flits(
+            cfg.input_buffer_flits, cfg.max_packet_flits, 1.0 - frac
+        ) + cls._normal_partition_flits(
+            cfg.output_buffer_flits, cfg.max_packet_flits, 1.0 - frac
+        )
+        return max(0, min(pooled, total - normal))
 
     def _normal_fraction(self, port: int) -> float:
         spec = self.port_specs[port]
@@ -94,15 +116,17 @@ class StashingSwitch(TiledSwitch):
         return 1.0 - self.stash_params.fraction_for(spec.link_class)
 
     def _input_normal_capacity(self, port: int) -> int:
-        return max(
-            self.cfg.max_packet_flits * 2,
-            int(self.cfg.input_buffer_flits * self._normal_fraction(port)),
+        return self._normal_partition_flits(
+            self.cfg.input_buffer_flits,
+            self.cfg.max_packet_flits,
+            self._normal_fraction(port),
         )
 
     def _output_normal_capacity(self, port: int) -> int:
-        return max(
-            self.cfg.max_packet_flits * 2,
-            int(self.cfg.output_buffer_flits * self._normal_fraction(port)),
+        return self._normal_partition_flits(
+            self.cfg.output_buffer_flits,
+            self.cfg.max_packet_flits,
+            self._normal_fraction(port),
         )
 
     # -- stashing hooks ---------------------------------------------------

@@ -56,3 +56,25 @@ def test_credit_channel_tuples():
     ch = CreditChannel(2)
     ch.send_credit(vc=3, flits=2, cycle=0)
     assert list(ch.recv_ready(2)) == [(3, 2)]
+
+
+def test_recv_ready_drains_eagerly_despite_partial_consumption():
+    # regression: recv_ready used to be a lazy generator, so a caller
+    # that stopped iterating early left due items queued in the channel
+    ch = Channel(1)
+    for i in range(4):
+        ch.send(i, cycle=0)
+    for item in ch.recv_ready(1):
+        if item == 1:
+            break  # early exit must not strand items 2 and 3
+    assert ch.empty
+    assert ch.recv_ready(1) == []
+
+
+def test_recv_ready_returns_list():
+    ch = Channel(1)
+    ch.send("x", 0)
+    ready = ch.recv_ready(1)
+    assert isinstance(ready, list)
+    # the returned list is a snapshot: iterating twice sees the same items
+    assert list(ready) == list(ready) == ["x"]

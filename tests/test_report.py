@@ -92,3 +92,32 @@ def test_combined_protocols_stress():
     assert rep["link"]["replayed"] > 0
     assert rep["stash"]["retransmits_issued"] > 0
     assert rep["endpoints"]["packets_corrupted"] > 0
+
+
+def test_fmt_float_renders_nan_as_na():
+    # regression: never-measured meters report NaN, which used to leak
+    # into tables as a bare "nan"
+    import math
+
+    from repro.analysis.report import fmt_float
+
+    assert fmt_float(math.nan) == "n/a"
+    assert fmt_float(1.5) == "1.5000"
+    assert fmt_float(0.25, spec=".2f") == "0.25"
+
+
+def test_format_report_shows_na_for_unmeasured_rates():
+    import math
+
+    report = {
+        "cycle": 100,
+        "endpoints": {"flits_injected": 10, "injection_rate": math.nan},
+        "switches": {},
+        "stash": {},
+        "ecn": {},
+        "link": {},
+        "conservation": {},
+    }
+    text = format_report(report)
+    assert "n/a" in text
+    assert "nan" not in text

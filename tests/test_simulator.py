@@ -45,6 +45,28 @@ def test_sampler_rejects_bad_period():
         Simulator().add_sampler(0, lambda c: None)
 
 
+def test_sampler_phase_anchored_to_registration_cycle():
+    # regression: a sampler added mid-run used to fire on multiples of
+    # the global cycle count instead of its own registration cycle
+    sim = Simulator()
+    sim.run(3)
+    hits = []
+    sim.add_sampler(10, hits.append)
+    sim.run(25)  # cycles 3..27
+    assert hits == [3, 13, 23]
+
+
+def test_samplers_with_different_anchors_coexist():
+    sim = Simulator()
+    early, late = [], []
+    sim.add_sampler(10, early.append)
+    sim.run(5)
+    sim.add_sampler(10, late.append)
+    sim.run(30)  # to cycle 35
+    assert early == [0, 10, 20, 30]
+    assert late == [5, 15, 25]
+
+
 def test_run_until_true_immediately():
     sim = Simulator()
     assert sim.run_until(lambda: True, max_cycles=100)

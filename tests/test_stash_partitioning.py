@@ -1,0 +1,80 @@
+"""Stash/normal buffer partitioning must respect physical capacity.
+
+Regression test: the two-packet floor on the normal partitions can
+exceed the configured fraction of a small buffer; the stash partition
+must be clamped so normal + stash never oversubscribes the port's
+physical flit storage (the switch would otherwise simulate memory it
+does not have).
+"""
+
+from repro.engine.config import StashParams, SwitchParams
+from repro.network import Network
+from repro.switch.stashing_switch import StashingSwitch
+from tests.conftest import micro_config
+
+
+def _tiny_buffer_net() -> Network:
+    # 24 + 24 flits of physical buffering per port, 8-flit packets: the
+    # normal partitions are floored at 2 * 8 = 16 flits each, leaving
+    # only 16 flits for the stash — far less than the unclamped
+    # fraction (7/8 of 48 = 42 flits at endpoint ports).
+    cfg = micro_config(
+        switch=SwitchParams(
+            num_ports=4,
+            rows=2,
+            cols=2,
+            num_vcs=6,
+            input_buffer_flits=24,
+            output_buffer_flits=24,
+            row_buffer_packets=4,
+            col_buffer_packets=4,
+            max_packet_flits=8,
+            speedup=1.3,
+            sideband_latency=2,
+        ),
+        stash=StashParams(enabled=True),
+    )
+    return Network(cfg)
+
+
+def test_partitions_never_oversubscribe_port_buffers():
+    net = _tiny_buffer_net()
+    for sw in net.switches:
+        assert isinstance(sw, StashingSwitch)
+        physical = (
+            sw.cfg.input_buffer_flits + sw.cfg.output_buffer_flits
+        )
+        for port in range(sw.cfg.num_ports):
+            normal = (
+                sw._input_normal_capacity(port)
+                + sw._output_normal_capacity(port)
+            )
+            stash = sw._stash_capacity[port]
+            assert normal + stash <= physical, (
+                sw.switch_id, port, normal, stash, physical
+            )
+
+
+def test_small_buffer_stash_is_clamped_not_fractional():
+    net = _tiny_buffer_net()
+    sw = net.switches[0]
+    endpoint_ports = [
+        p for p, spec in enumerate(sw.port_specs)
+        if spec.link_class == "endpoint"
+    ]
+    assert endpoint_ports, "micro topology should expose endpoint ports"
+    for port in endpoint_ports:
+        # unclamped: int(7/8 * 48) = 42; clamped: 48 - 16 - 16 = 16
+        assert sw._stash_capacity[port] == 16
+
+
+def test_large_buffer_stash_keeps_configured_fraction():
+    # with roomy buffers the clamp must not bite: micro_config's default
+    # 96 + 96 flits, 4-flit packets, endpoint fraction 7/8
+    net = Network(micro_config(stash=StashParams(enabled=True)))
+    sw = net.switches[0]
+    for port, spec in enumerate(sw.port_specs):
+        if spec.link_class != "endpoint":
+            continue
+        total = sw.cfg.input_buffer_flits + sw.cfg.output_buffer_flits
+        assert sw._stash_capacity[port] == int(7 / 8 * total)

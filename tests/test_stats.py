@@ -106,6 +106,21 @@ class TestRateMeter:
     def test_rate_nan_without_window(self):
         assert math.isnan(RateMeter().rate())
 
+    def test_zero_span_empty_window_is_zero(self):
+        # regression: a degenerate window used to divide by zero (inf/NaN)
+        m = RateMeter()
+        m.open_window(50)
+        m.close_window(50)
+        assert m.rate() == 0.0
+
+    def test_zero_span_with_events_is_an_error(self):
+        m = RateMeter()
+        m.open_window(50)
+        m.record(3)
+        m.close_window(50)
+        with pytest.raises(ValueError, match="zero-span"):
+            m.rate()
+
 
 class TestTimeSeries:
     def test_binning(self):
