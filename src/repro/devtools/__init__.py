@@ -1,0 +1,7 @@
+"""Developer tooling for the repro codebase.
+
+Currently hosts :mod:`repro.devtools.simlint`, the AST-based determinism
+and simulation-invariant linter that keeps the reproducibility contract
+(byte-identical sweeps at any ``--jobs``; see ``docs/LINTING.md``)
+machine-checked instead of review-checked.
+"""

@@ -1,0 +1,7 @@
+"""``python -m repro.devtools`` defers to the simlint CLI."""
+
+import sys
+
+from repro.devtools.simlint import main
+
+sys.exit(main())

@@ -68,7 +68,8 @@ def run_speedup_ablation(
 ) -> list[tuple[float, float, float]]:
     """Returns [(speedup, accepted load, avg latency)] with reliability
     stashing at full capacity."""
-    base = base or preset_by_name("tiny")
+    if base is None:
+        base = preset_by_name("tiny")
     specs = [
         RunSpec(
             key=("speedup", s),
@@ -113,7 +114,8 @@ def run_placement_ablation(
 ) -> dict[str, dict[str, float]]:
     """JSQ vs random stash placement under reliability at reduced
     capacity (where placement balance matters most)."""
-    base = base or preset_by_name("tiny")
+    if base is None:
+        base = preset_by_name("tiny")
     specs = [
         RunSpec(
             key=("placement", placement),
@@ -154,7 +156,8 @@ def run_littles_law_check(
     highest load where the network still delivers what is offered — and
     the bound is stash flits per endpoint over that round trip.
     """
-    base = base or preset_by_name("tiny")
+    if base is None:
+        base = preset_by_name("tiny")
     cfg = base.with_(stash=replace(base.stash, enabled=True,
                                    capacity_scale=capacity_scale))
     per_ep = stash_per_endpoint_flits(cfg)

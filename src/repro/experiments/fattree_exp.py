@@ -92,7 +92,8 @@ def run_fattree_reliability(
     progress=None,
 ) -> dict[str, list[tuple[float, float, float]]]:
     """Returns variant -> [(offered, accepted, avg_latency)]."""
-    base = base or preset_by_name("tiny")
+    if base is None:
+        base = preset_by_name("tiny")
     specs = fattree_specs(base, loads, variants, seed)
     outcomes = run_specs(specs, jobs=jobs, progress=progress)
     results: dict[str, list[tuple[float, float, float]]] = {

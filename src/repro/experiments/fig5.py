@@ -81,7 +81,8 @@ def run_fig5(
     jobs: int = 1,
     progress=None,
 ) -> dict[str, list[Fig5Point]]:
-    base = base or preset_by_name("tiny")
+    if base is None:
+        base = preset_by_name("tiny")
     specs = fig5_specs(base, loads, variants, msg_flits, seed)
     outcomes = run_specs(specs, jobs=jobs, progress=progress)
     results: dict[str, list[Fig5Point]] = {v: [] for v in variants}

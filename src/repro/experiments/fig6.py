@@ -78,7 +78,8 @@ def run_fig6(
     progress=None,
 ) -> dict[str, dict[str, float]]:
     """Returns app -> variant -> execution cycles (absolute)."""
-    base = base or preset_by_name("tiny")
+    if base is None:
+        base = preset_by_name("tiny")
     specs = fig6_specs(
         base, apps, variants, size_scale, iterations, seed, max_cycles
     )

@@ -51,9 +51,12 @@ def run_fig7(
     seed: int = 1,
     total_cycles: int | None = None,
 ) -> dict[str, Fig7Result]:
-    base = base or preset_by_name("tiny")
+    if base is None:
+        base = preset_by_name("tiny")
     sim = base.sim
-    total = total_cycles or (sim.warmup_cycles + sim.measure_cycles)
+    if total_cycles is None:
+        total_cycles = sim.warmup_cycles + sim.measure_cycles
+    total = total_cycles
     onset = sim.warmup_cycles + int(
         onset_fraction * (total - sim.warmup_cycles)
     )

@@ -48,9 +48,12 @@ def run_fig8(
     duration after it stops; the default fractions leave enough run time
     for the stash to drain back to near zero (the tail of the paper's
     Fig. 8)."""
-    base = base or preset_by_name("tiny")
+    if base is None:
+        base = preset_by_name("tiny")
     sim = base.sim
-    total = total_cycles or (sim.warmup_cycles + sim.measure_cycles)
+    if total_cycles is None:
+        total_cycles = sim.warmup_cycles + sim.measure_cycles
+    total = total_cycles
     onset = sim.warmup_cycles + int(onset_fraction * (total - sim.warmup_cycles))
     offset = sim.warmup_cycles + int(offset_fraction * (total - sim.warmup_cycles))
 

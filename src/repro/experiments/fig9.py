@@ -85,7 +85,8 @@ def run_fig9(
     """Returns variant -> [(burst_pkts, victim pXX latency, victim
     accepted load)] — the paper notes victim throughput holds at 40 %
     across the sweep while latency diverges."""
-    base = base or preset_by_name("tiny")
+    if base is None:
+        base = preset_by_name("tiny")
     specs = fig9_specs(
         base, bursts_pkts, variants, victim_rate, percentile, seed
     )

@@ -117,7 +117,8 @@ def run_occupancy_census(
     jobs: int = 1,
     progress=None,
 ) -> list[OccupancyRow]:
-    base = base or preset_by_name("tiny")
+    if base is None:
+        base = preset_by_name("tiny")
     specs = occupancy_specs(base, load, seed, sample_period)
     outcomes = run_specs(specs, jobs=jobs, progress=progress)
     return outcomes[0].value

@@ -184,12 +184,12 @@ def main(argv: list[str] | None = None) -> int:
 
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
-        t0 = time.time()
+        t0 = time.perf_counter()
         print(f"=== {name} (preset={args.preset}) ===")
         print(_run_one(name, base, args.quick, jobs=args.jobs))
         print()
         # wall-clock varies run to run; keep stdout deterministic
-        print(f"--- {name} done in {time.time() - t0:.1f}s ---",
+        print(f"--- {name} done in {time.perf_counter() - t0:.1f}s ---",
               file=sys.stderr)
     return 0
 

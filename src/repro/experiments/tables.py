@@ -27,7 +27,8 @@ __all__ = [
 
 
 def run_table1(base: NetworkConfig | None = None) -> dict:
-    base = base or preset_by_name("tiny")
+    if base is None:
+        base = preset_by_name("tiny")
     paper_rows = paper_table1()
     sim_rows = dragonfly_link_table(base.dragonfly, base.switch)
     return {

@@ -139,16 +139,16 @@ class Network:
                     cfg.switch,
                     self.router,
                     specs,
+                    rng,
                     stash=cfg.stash,
                     reliability=cfg.reliability,
                     ecn=cfg.ecn,
                     alloc_pid=self.alloc_pid,
                 )
-                sw.rng = rng
             else:
                 sw = TiledSwitch(
-                    s, cfg.switch, self.router, specs,
-                    alloc_pid=self.alloc_pid, ecn=cfg.ecn, rng=rng,
+                    s, cfg.switch, self.router, specs, rng,
+                    alloc_pid=self.alloc_pid, ecn=cfg.ecn,
                 )
             switches.append(sw)
         return switches
@@ -278,7 +278,8 @@ class Network:
         from repro.traffic.generators import BernoulliSource
         from repro.traffic.patterns import uniform_random
 
-        msg_flits = msg_flits or self.config.switch.max_packet_flits
+        if msg_flits is None:
+            msg_flits = self.config.switch.max_packet_flits
         src = BernoulliSource(
             rate=rate,
             msg_flits=msg_flits,

@@ -24,6 +24,7 @@ from repro.switch.damq import Damq, DamqMirror
 from repro.switch.flit import Flit, PacketKind
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocol.link import LinkReceiver, LinkSender
     from repro.switch.tiled_switch import TiledSwitch
 
 __all__ = ["InputPort", "OutputPort"]
@@ -77,7 +78,7 @@ class InputPort:
         self.credit_out: CreditChannel | None = None
         # link-level retransmission receiver (switch-to-switch links
         # only, when LinkParams.enabled); see repro.protocol.link
-        self.link_rx = None
+        self.link_rx: LinkReceiver | None = None
         self.row_credits = [
             [cfg.row_buffer_flits] * sw.total_vcs for _ in range(cfg.cols)
         ]
@@ -504,7 +505,7 @@ class OutputPort:
         # link-level retransmission sender (see repro.protocol.link);
         # when set, output space is released by cumulative ACKs instead
         # of the fixed retention timer
-        self.link_tx = None
+        self.link_tx: LinkSender | None = None
         self.partition: StashPartition | None = None
         # S flits accumulated until the tail completes the stored packet
         self.stash_staging: list[tuple[Flit, StashJob]] = []

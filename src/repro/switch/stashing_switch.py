@@ -14,6 +14,7 @@ Extends the baseline tiled switch with:
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from typing import Callable
 
@@ -36,6 +37,7 @@ class StashingSwitch(TiledSwitch):
         cfg: SwitchParams,
         router: Router,
         port_specs: list[PortSpec],
+        rng: random.Random,
         stash: StashParams,
         reliability: ReliabilityParams | None = None,
         ecn: EcnParams | None = None,
@@ -48,10 +50,12 @@ class StashingSwitch(TiledSwitch):
             self._port_stash_flits(cfg, stash, spec) for spec in port_specs
         ]
         super().__init__(
-            switch_id, cfg, router, port_specs, alloc_pid=alloc_pid, ecn=ecn
+            switch_id, cfg, router, port_specs, rng,
+            alloc_pid=alloc_pid, ecn=ecn,
         )
 
-        reliability = reliability or ReliabilityParams()
+        if reliability is None:
+            reliability = ReliabilityParams()
         self.reliability_on = reliability.enabled
         self.retransmit_pace = reliability.retransmit_pace
         # (ready_cycle, msg): NACKed packets awaiting their paced
@@ -68,7 +72,7 @@ class StashingSwitch(TiledSwitch):
         self.stash_dir = StashDirectory(partitions, cfg.cols, cfg.tile_outputs)
         self.sideband = SidebandNetwork(cfg.num_ports, cfg.sideband_latency)
         self.trackers: dict[int, EndToEndTracker] = {
-            p: EndToEndTracker(p) for p in self.end_port_set
+            p: EndToEndTracker(p) for p in sorted(self.end_port_set)
         }
         self.retransmits_issued = 0
         self.deletes_applied = 0

@@ -18,7 +18,7 @@ The stashing extension (Section III) is hosted here behind ``stash_dir``
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.engine.config import EcnParams, SwitchParams
 from repro.routing.routing import Router
@@ -26,6 +26,11 @@ from repro.switch.flit import Packet
 from repro.switch.port import InputPort, OutputPort
 from repro.switch.tile import Tile
 from repro.topology.topology import PortSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.reliability import EndToEndTracker
+    from repro.core.sideband import SidebandNetwork
+    from repro.core.stash import StashDirectory
 
 __all__ = ["TiledSwitch"]
 
@@ -39,21 +44,31 @@ class TiledSwitch:
         cfg: SwitchParams,
         router: Router,
         port_specs: list[PortSpec],
+        rng: random.Random,
         alloc_pid: Callable[[], int] | None = None,
         ecn: EcnParams | None = None,
-        rng: random.Random | None = None,
     ) -> None:
         if len(port_specs) != cfg.num_ports:
             raise ValueError(
                 f"switch {switch_id}: {len(port_specs)} port specs for "
                 f"{cfg.num_ports} ports"
             )
+        if rng is None:
+            # required keyword: every switch must be handed a stream
+            # derived from the experiment seed (DeterministicRng.stream),
+            # never a self-invented one — see docs/LINTING.md SIM004
+            raise TypeError(
+                f"switch {switch_id}: rng is required; pass a stream "
+                "derived from the experiment seed"
+            )
         self.switch_id = switch_id
         self.cfg = cfg
         self.router = router
         self.port_specs = port_specs
-        self.alloc_pid = alloc_pid or _default_pid_counter()
-        self.rng = rng or random.Random(switch_id * 7919 + 1)
+        if alloc_pid is None:
+            alloc_pid = _default_pid_counter()
+        self.alloc_pid = alloc_pid
+        self.rng = rng
         self.stash_placement = "jsq"
 
         # VC plan: data VCs [0, V), storage VC V, retrieval VC V+1
@@ -65,16 +80,17 @@ class TiledSwitch:
         self.end_port_set = {
             s.port for s in port_specs if s.link_class == "endpoint"
         }
-        ecn = ecn or EcnParams()
+        if ecn is None:
+            ecn = EcnParams()
         self.ecn_on = ecn.enabled
         self.ecn_threshold = ecn.congestion_threshold
         self.congestion_stash_on = ecn.stash_on_congestion
         self.reliability_on = False
 
         # stashing hooks: inert on the baseline
-        self.stash_dir = None
-        self.sideband = None
-        self.trackers = None
+        self.stash_dir: StashDirectory | None = None
+        self.sideband: SidebandNetwork | None = None
+        self.trackers: dict[int, EndToEndTracker] | None = None
 
         self.inflight = 0
         self._tokens = 0.0

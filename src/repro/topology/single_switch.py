@@ -32,7 +32,9 @@ class SingleSwitchTopology(Topology):
         self.num_nodes = num_nodes
         self.num_ports = num_ports
         self.latency = latency
-        self._classes = link_classes or ["endpoint"] * num_nodes
+        if link_classes is None:
+            link_classes = ["endpoint"] * num_nodes
+        self._classes = link_classes
         if len(self._classes) != num_nodes:
             raise ValueError("link_classes must cover every node")
         self.build()

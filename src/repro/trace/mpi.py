@@ -96,7 +96,7 @@ class MpiProgram:
         if sends != recvs:
             missing = {
                 k: (sends.get(k, 0), recvs.get(k, 0))
-                for k in set(sends) | set(recvs)
+                for k in sorted(set(sends) | set(recvs))
                 if sends.get(k, 0) != recvs.get(k, 0)
             }
             raise ValueError(f"unmatched sends/recvs: {missing}")

@@ -46,7 +46,9 @@ class MpiReplay:
         program.validate()
         self.net = net
         self.program = program
-        self.rank_to_node = rank_to_node or list(range(program.num_ranks))
+        if rank_to_node is None:
+            rank_to_node = list(range(program.num_ranks))
+        self.rank_to_node = rank_to_node
         if len(set(self.rank_to_node)) != program.num_ranks:
             raise ValueError("rank mapping must be injective")
         self._node_to_rank = {n: r for r, n in enumerate(self.rank_to_node)}

@@ -66,7 +66,9 @@ def hotspot_scenario(
     aggressor_nodes = tuple(range(total - num_hotspots - n_aggr, total - num_hotspots))
     victim_nodes = tuple(range(total - num_hotspots - n_aggr))
 
-    msg = victim_msg_flits or net.config.switch.max_packet_flits
+    if victim_msg_flits is None:
+        victim_msg_flits = net.config.switch.max_packet_flits
+    msg = victim_msg_flits
     victim = BernoulliSource(
         rate=victim_rate,
         msg_flits=msg,
@@ -102,7 +104,9 @@ def uniform_aggressor_scenario(
     victim_nodes = tuple(range(half))
     aggressor_nodes = tuple(range(half, total))
 
-    msg = victim_msg_flits or net.config.switch.max_packet_flits
+    if victim_msg_flits is None:
+        victim_msg_flits = net.config.switch.max_packet_flits
+    msg = victim_msg_flits
     victim = BernoulliSource(
         rate=victim_rate,
         msg_flits=msg,

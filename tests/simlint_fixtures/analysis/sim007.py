@@ -1,0 +1,22 @@
+# SIM007 fixture: float equality in analysis code (lives under a
+# directory named "analysis", which puts it in SIM007 scope).
+
+
+def at_half(x):
+    return x == 0.5  # expect: SIM007
+
+
+def not_zero(x):
+    return x != 0.0  # expect: SIM007
+
+
+def negated(x):
+    return x == -1.5  # expect: SIM007
+
+
+def int_ok(x):
+    return x == 1  # clean: integer comparison is exact
+
+
+def ordering_ok(x):
+    return x < 0.5  # clean: inequality, not equality

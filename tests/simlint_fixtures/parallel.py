@@ -1,0 +1,11 @@
+# SIM002 whitelist fixture: a module named "parallel" may time runs
+# with time.perf_counter, but nothing else.
+import time
+
+
+def timed() -> float:
+    return time.perf_counter()  # clean: whitelisted (stem "parallel")
+
+
+def stamped() -> float:
+    return time.time()  # expect: SIM002

@@ -1,0 +1,11 @@
+# SIM001/SIM004 exemption fixture: a module named "rng" is the one
+# sanctioned home for RNG construction and global-random access.
+import random
+
+
+def derive(seed: int) -> random.Random:
+    return random.Random(seed)  # clean: rng home
+
+
+def tempt() -> float:
+    return random.random()  # clean here (and only here)

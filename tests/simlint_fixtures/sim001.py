@@ -1,0 +1,19 @@
+# SIM001 fixture: module-level random usage (shared global RNG).
+# Lines carrying a violation are marked with "# expect: <RULE>"; the
+# test derives the expected (rule, line) pairs from these markers.
+import random
+from random import choice  # expect: SIM001
+from random import Random  # clean: the class itself is fine
+
+
+def draw() -> float:
+    return random.random()  # expect: SIM001
+
+
+def shuffle_in_place(items: list) -> None:
+    random.shuffle(items)  # expect: SIM001
+
+
+def annotated(rng: random.Random) -> int:
+    # attribute *reference* without a call is not a draw
+    return rng.randrange(4)

@@ -1,0 +1,21 @@
+# SIM002 fixture: wall-clock reads outside the harness whitelist.
+import time
+from datetime import datetime
+from time import perf_counter  # expect: SIM002
+
+
+def stamp() -> float:
+    return time.time()  # expect: SIM002
+
+
+def tick() -> float:
+    return time.perf_counter()  # expect: SIM002
+
+
+def when() -> object:
+    return datetime.now()  # expect: SIM002
+
+
+def duration(cycles: int, hz: float) -> float:
+    # arithmetic on simulated time is fine
+    return cycles / hz

@@ -1,0 +1,11 @@
+# SIM004 fixture: ad-hoc RNG construction outside rng.py.
+import random
+
+
+def make_generator(seed: int) -> random.Random:
+    return random.Random(seed * 7919 + 1)  # expect: SIM004
+
+
+def annotate_only(rng: random.Random) -> random.Random:
+    # annotations referencing the class are fine
+    return rng

@@ -1,0 +1,31 @@
+# SIM005 fixture: falsy-`or` defaulting of None-default parameters.
+
+
+def pick(rng=None):
+    rng = rng or 7  # expect: SIM005
+    return rng
+
+
+def assign_other(base=None):
+    cfg = base or {"seed": 1}  # expect: SIM005
+    return cfg
+
+
+def returned(limit=None):
+    return limit or 100  # expect: SIM005
+
+
+def passed_on(rate=None):
+    return pick(rate or 3)  # expect: SIM005
+
+
+def condition(flag=None):
+    if flag or True:  # clean: boolean context, not a default
+        return 1
+    return 0
+
+
+def non_param(x):
+    y = None
+    y = y or x  # clean: y is a local, not a parameter
+    return y

@@ -1,0 +1,21 @@
+# SIM006 fixture: mutable default argument values.
+
+
+def listy(items=[]):  # expect: SIM006
+    return items
+
+
+def dicty(table={}):  # expect: SIM006
+    return table
+
+
+def setty(seen=set()):  # expect: SIM006
+    return seen
+
+
+def built(buf=list()):  # expect: SIM006
+    return buf
+
+
+def safe(items=None, count=0, name="x", key=()):
+    return items, count, name, key

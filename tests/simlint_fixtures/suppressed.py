@@ -1,0 +1,18 @@
+# Suppression fixture: every violation below carries a directive, so
+# this file must lint clean.
+# simlint: disable-file=SIM005
+import time
+import random
+
+
+def stamp() -> float:
+    return time.time()  # simlint: disable=SIM002
+
+
+def multi(items=[]):  # simlint: disable=SIM006,SIM001
+    return random.random()  # simlint: disable=all
+
+
+def defaulted(base=None):
+    base = base or 3  # covered by the file-wide SIM005 directive
+    return base

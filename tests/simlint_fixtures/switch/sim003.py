@@ -1,0 +1,37 @@
+# SIM003 fixture: unordered iteration in a hot path (lives under a
+# directory named "switch", which puts it in SIM003 scope).
+
+
+def literal(items):
+    for x in {3, 1, 2}:  # expect: SIM003
+        items.append(x)
+
+
+def constructed(items):
+    for x in set(items):  # expect: SIM003
+        print(x)
+
+
+def inferred(items):
+    pending = set(items)
+    for x in pending:  # expect: SIM003
+        print(x)
+
+
+def combined(a, b):
+    return [x for x in set(a) | set(b)]  # expect: SIM003
+
+
+def suffixed(self):
+    for p in self.end_port_set:  # expect: SIM003
+        print(p)
+
+
+def ordered(items):
+    for x in sorted(set(items)):  # clean: explicit order
+        print(x)
+
+
+def plain(items):
+    for x in items:  # clean: not set-typed
+        print(x)

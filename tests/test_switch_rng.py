@@ -1,0 +1,62 @@
+"""Regression tests for the switch RNG-threading contract.
+
+PR 2 removed the tiled switch's hidden fallback RNG
+(``random.Random(switch_id * 7919 + 1)``): every switch must now be
+handed a stream forked from the experiment seed.  These tests pin the
+contract so it cannot silently regress.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.rng import DeterministicRng
+from repro.network import Network
+from tests.conftest import micro_config
+
+
+def test_switch_requires_rng():
+    """Constructing a switch without an RNG is a hard error, not a
+    silently self-seeded fallback."""
+    net = Network(micro_config())
+    sw = net.switches[0]
+    with pytest.raises(TypeError):
+        type(sw)(0, net.config.switch, net.router, sw.port_specs)
+    with pytest.raises(TypeError):
+        type(sw)(0, net.config.switch, net.router, sw.port_specs, None)
+
+
+def test_switch_rngs_derive_from_experiment_seed():
+    """Each switch's stream is exactly DeterministicRng(seed).stream(
+    "switch:<id>") — seeded from the experiment, not self-invented."""
+    cfg = micro_config()
+    net = Network(cfg)
+    reference = DeterministicRng(cfg.sim.seed)
+    for sw in net.switches:
+        expected = reference.stream(f"switch:{sw.switch_id}")
+        assert sw.rng.getstate() == expected.getstate()
+
+
+def test_switches_never_share_a_stream():
+    """No two switches alias the same RNG object or state, with and
+    without stashing enabled."""
+    from dataclasses import replace
+
+    stashing = replace(micro_config().stash, enabled=True)
+    for overrides in ({}, {"stash": stashing}):
+        net = Network(micro_config(**overrides))
+        rngs = [sw.rng for sw in net.switches]
+        assert len({id(r) for r in rngs}) == len(rngs)
+        states = [r.getstate() for r in rngs]
+        for i in range(len(states)):
+            for j in range(i + 1, len(states)):
+                assert states[i] != states[j]
+
+
+def test_different_seeds_give_different_switch_streams():
+    from dataclasses import replace
+
+    cfg_a = micro_config()
+    cfg_b = micro_config(sim=replace(cfg_a.sim, seed=cfg_a.sim.seed + 1))
+    net_a, net_b = Network(cfg_a), Network(cfg_b)
+    assert net_a.switches[0].rng.getstate() != net_b.switches[0].rng.getstate()
