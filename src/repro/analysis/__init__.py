@@ -13,14 +13,25 @@ from repro.analysis.littles_law import (
 )
 from repro.analysis.metrics import normalized_runtimes, saturation_load
 from repro.analysis.ascii_chart import line_chart, multi_series_chart
+from repro.analysis.obsview import (
+    format_counters,
+    load_trace,
+    merged_counters,
+    timeline_chart,
+    trace_lines,
+    write_trace,
+)
 from repro.analysis.report import format_report, network_report
 
 __all__ = [
     "LinkClassRow",
     "buffer_underutilization",
     "dragonfly_link_table",
+    "format_counters",
     "format_report",
     "line_chart",
+    "load_trace",
+    "merged_counters",
     "multi_series_chart",
     "network_report",
     "normalized_runtimes",
@@ -28,4 +39,7 @@ __all__ = [
     "saturation_load",
     "stash_limited_injection_rate",
     "stash_per_endpoint_flits",
+    "timeline_chart",
+    "trace_lines",
+    "write_trace",
 ]

@@ -1,7 +1,9 @@
 """Developer tooling for the repro codebase.
 
-Currently hosts :mod:`repro.devtools.simlint`, the AST-based determinism
-and simulation-invariant linter that keeps the reproducibility contract
+Hosts :mod:`repro.devtools.simlint`, the AST-based determinism and
+simulation-invariant linter that keeps the reproducibility contract
 (byte-identical sweeps at any ``--jobs``; see ``docs/LINTING.md``)
-machine-checked instead of review-checked.
+machine-checked instead of review-checked, and
+:mod:`repro.devtools.linkcheck`, the offline Markdown link checker run
+by the CI docs job.
 """

@@ -1,0 +1,230 @@
+"""linkcheck — offline Markdown link checker for the repo's docs.
+
+Walks Markdown files and verifies every inline link and image whose
+target is *local*: relative file paths must exist on disk, and fragment
+anchors (``file.md#section`` or ``#section``) must match a heading in
+the target file under GitHub's slugging rules.  External schemes
+(``http://``, ``https://``, ``mailto:``, ...) are skipped — CI must not
+depend on the network — as are links inside fenced code blocks and
+inline code spans.
+
+Usage::
+
+    python -m repro.devtools.linkcheck README.md docs EXPERIMENTS.md
+
+Exit codes are stable: 0 clean, 1 broken links, 2 usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+__all__ = [
+    "EXIT_BROKEN",
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "BrokenLink",
+    "check_file",
+    "check_paths",
+    "extract_links",
+    "heading_slugs",
+    "main",
+]
+
+EXIT_CLEAN = 0
+EXIT_BROKEN = 1
+EXIT_ERROR = 2
+
+#: inline links and images: [text](target) / ![alt](target)
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: an absolute URI scheme (http:, https:, mailto:, ftp:, ...)
+_SCHEME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9+.-]*:")
+_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+
+@dataclass(frozen=True)
+class BrokenLink:
+    """One unresolvable local link, addressable by file and line."""
+
+    path: str
+    line: int
+    target: str
+    reason: str
+
+    def render(self) -> str:
+        """``file:line: target (reason)`` for terminal output."""
+        return f"{self.path}:{self.line}: {self.target} ({self.reason})"
+
+
+def _strip_code(lines: list[str]) -> list[str]:
+    """Blank out fenced code blocks and inline code spans, preserving
+    line numbering so link positions stay addressable."""
+    out: list[str] = []
+    fence: str | None = None
+    for text in lines:
+        match = _FENCE_RE.match(text)
+        if match is not None:
+            if fence is None:
+                fence = match.group(1)
+            elif match.group(1) == fence:
+                fence = None
+            out.append("")
+            continue
+        out.append("" if fence is not None else _CODE_SPAN_RE.sub("``", text))
+    return out
+
+
+def extract_links(text: str) -> list[tuple[int, str]]:
+    """(line, target) for every inline link/image outside code.
+
+    >>> extract_links("see [docs](docs/A.md) and `[not](a.md)`")
+    [(1, 'docs/A.md')]
+    """
+    links: list[tuple[int, str]] = []
+    for lineno, line in enumerate(_strip_code(text.splitlines()), start=1):
+        for match in _LINK_RE.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def heading_slugs(text: str) -> set[str]:
+    """GitHub anchor slugs of every Markdown heading in ``text``.
+
+    Lowercased; punctuation dropped; spaces become hyphens; repeated
+    headings get ``-1``, ``-2``, ... suffixes.
+
+    >>> sorted(heading_slugs("# A B!\\n## A B!\\n### C_d"))
+    ['a-b', 'a-b-1', 'c_d']
+    """
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    fence: str | None = None
+    for line in text.splitlines():
+        fmatch = _FENCE_RE.match(line)
+        if fmatch is not None:
+            if fence is None:
+                fence = fmatch.group(1)
+            elif fmatch.group(1) == fence:
+                fence = None
+            continue
+        if fence is not None:
+            continue
+        match = _HEADING_RE.match(line)
+        if match is None:
+            continue
+        title = re.sub(r"`([^`]*)`", r"\1", match.group(2))
+        title = _LINK_RE.sub(lambda m: m.group(0).split("]")[0][1:], title)
+        slug = re.sub(r"[^\w\- ]", "", title.lower()).replace(" ", "-")
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
+
+
+def check_file(path: Path, root: Path | None = None) -> list[BrokenLink]:
+    """Verify every local link in one Markdown file.
+
+    Relative targets resolve against the file's directory; targets
+    starting with ``/`` resolve against ``root`` (default: the file's
+    directory) as GitHub resolves repo-absolute links.
+    """
+    if root is None:
+        root = path.parent
+    text = path.read_text(encoding="utf-8")
+    broken: list[BrokenLink] = []
+    for lineno, target in extract_links(text):
+        if _SCHEME_RE.match(target) or target.startswith("//"):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            base = root if file_part.startswith("/") else path.parent
+            dest = (base / file_part.lstrip("/")).resolve()
+            if not dest.exists():
+                broken.append(
+                    BrokenLink(str(path), lineno, target, "file not found")
+                )
+                continue
+        else:
+            dest = path
+        if anchor and dest.suffix.lower() in (".md", ".markdown"):
+            if anchor.lower() not in heading_slugs(
+                dest.read_text(encoding="utf-8")
+            ):
+                broken.append(
+                    BrokenLink(str(path), lineno, target, "missing anchor")
+                )
+    return broken
+
+
+def _iter_markdown_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.suffix.lower() in (".md", ".markdown"):
+            yield path
+        else:
+            raise OSError(f"{path}: not a Markdown file or directory")
+
+
+def check_paths(
+    paths: Sequence[Path], root: Path | None = None
+) -> tuple[list[BrokenLink], int]:
+    """Check every Markdown file under ``paths``.
+
+    Returns ``(broken links, files checked)``; raises OSError for
+    unreadable inputs.
+    """
+    broken: list[BrokenLink] = []
+    checked = 0
+    for file_path in _iter_markdown_files(paths):
+        broken.extend(check_file(file_path, root=root))
+        checked += 1
+    broken.sort(key=lambda b: (b.path, b.line, b.target))
+    return broken, checked
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; see the module docstring for usage."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.linkcheck",
+        description="offline Markdown link checker",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="Markdown files or directories to check",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root for /absolute link targets (default: .)",
+    )
+    args = parser.parse_args(argv)
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("linkcheck: error: no paths given", file=sys.stderr)
+        return EXIT_ERROR
+
+    try:
+        broken, checked = check_paths(
+            [Path(p) for p in args.paths], root=Path(args.root)
+        )
+    except OSError as exc:
+        print(f"linkcheck: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    for link in broken:
+        print(link.render())
+    print(f"linkcheck: {len(broken)} broken link(s) in {checked} file(s)")
+    return EXIT_BROKEN if broken else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,10 @@ SIM005    falsy-``or`` defaulting of a ``None``-default parameter
           (``rng or ...``); use ``if x is None`` so falsy values survive
 SIM006    mutable default argument values
 SIM007    float ``==`` / ``!=`` comparisons in ``analysis/`` metrics
+SIM008    missing docstrings on the public API (module docstring,
+          exported defs/classes, and their public methods) of modules
+          in ``engine/`` / ``switch/`` / ``obs/`` that declare
+          ``__all__``
 ========  ============================================================
 
 Usage::
@@ -118,6 +122,13 @@ RULES: tuple[RuleInfo, ...] = (
         "float == / != in analysis metrics is representation-dependent; "
         "compare with math.isclose or an explicit tolerance",
     ),
+    RuleInfo(
+        "SIM008",
+        "missing-docstring",
+        "modules in engine/, switch/ and obs/ that declare __all__ are "
+        "public API; the module, every exported def/class, and every "
+        "public method of an exported class must carry a docstring",
+    ),
 )
 
 RULE_IDS = frozenset(r.rule_id for r in RULES)
@@ -127,6 +138,9 @@ HOT_PATH_DIRS = frozenset({"switch", "engine", "routing"})
 
 #: directories whose files are subject to SIM007
 ANALYSIS_DIRS = frozenset({"analysis"})
+
+#: directories whose ``__all__``-declaring modules are subject to SIM008
+DOC_API_DIRS = frozenset({"engine", "switch", "obs"})
 
 #: module stems exempt from SIM001/SIM004 (the one sanctioned RNG home)
 RNG_HOME_STEMS = frozenset({"rng"})
@@ -224,6 +238,25 @@ def _call_name(node: ast.expr) -> str | None:
     return None
 
 
+def _module_all_names(tree: ast.Module) -> set[str] | None:
+    """The string literals of a top-level ``__all__`` list/tuple
+    assignment, or None when the module declares no ``__all__``."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(node.value, (ast.List, ast.Tuple)):
+                    return {
+                        elt.value
+                        for elt in node.value.elts
+                        if isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)
+                    }
+                return set()
+    return None
+
+
 class _FunctionScope:
     def __init__(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
         args = node.args
@@ -255,6 +288,7 @@ class _Checker(ast.NodeVisitor):
         parts = frozenset(path.parts[:-1])
         self.in_hot_path = bool(parts & HOT_PATH_DIRS)
         self.in_analysis = bool(parts & ANALYSIS_DIRS)
+        self.in_doc_api = bool(parts & DOC_API_DIRS)
         self.is_rng_home = self.stem in RNG_HOME_STEMS
         self.wall_clock_ok = WALL_CLOCK_WHITELIST.get(self.stem, frozenset())
         self.violations: list[Violation] = []
@@ -265,6 +299,7 @@ class _Checker(ast.NodeVisitor):
                 self._parents[child] = parent
         self._set_bound: set[str] = set()
         self._collect_set_bindings(tree)
+        self._check_docstrings(tree)
 
     # -- plumbing -------------------------------------------------------
 
@@ -511,6 +546,54 @@ class _Checker(ast.NodeVisitor):
                     "mutable default argument is shared across calls; "
                     "default to None and construct inside the body",
                 )
+
+    # -- SIM008: public-API docstrings ----------------------------------
+
+    def _check_docstrings(self, tree: ast.Module) -> None:
+        """Modules under engine/, switch/ or obs/ that declare ``__all__``
+        opt into the public-API contract: the module itself, every
+        exported top-level def/class, and every public (non-underscore)
+        method of an exported class must have a docstring."""
+        if not self.in_doc_api:
+            return
+        exported = _module_all_names(tree)
+        if exported is None:
+            return
+        if ast.get_docstring(tree) is None:
+            self._flag(
+                "SIM008",
+                tree,
+                "module declares __all__ but has no module docstring",
+            )
+        for node in tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name not in exported:
+                continue
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            if ast.get_docstring(node) is None:
+                self._flag(
+                    "SIM008",
+                    node,
+                    f"exported {kind} {node.name} has no docstring",
+                )
+            if isinstance(node, ast.ClassDef):
+                for member in node.body:
+                    if not isinstance(
+                        member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    if member.name.startswith("_"):
+                        continue  # private and dunder methods are exempt
+                    if ast.get_docstring(member) is None:
+                        self._flag(
+                            "SIM008",
+                            member,
+                            f"public method {node.name}.{member.name} "
+                            "has no docstring",
+                        )
 
     # -- SIM007: float equality -----------------------------------------
 

@@ -21,6 +21,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 from repro.engine.channel import Channel, CreditChannel
+from repro.obs.events import EventTrace
 from repro.protocol.ecn import EcnWindows
 from repro.protocol.ordering import ReorderBuffer
 from repro.switch.damq import DamqMirror
@@ -51,6 +52,8 @@ class Endpoint:
         self.credit_in: CreditChannel | None = None
         self.flit_in: Channel | None = None
         self.mirror: DamqMirror | None = None
+        # event trace when obs tracing is enabled, else None (zero cost)
+        self.obs: EventTrace | None = None
 
         self.send_queues: dict[int, deque[Packet]] = {}
         self._rr_dsts: deque[int] = deque()  # round-robin order of active queues
@@ -183,7 +186,12 @@ class Endpoint:
                 # retransmissions are not window-accounted (the stash is
                 # their pacing mechanism)
                 dst, size = pending
-                self.ecn.on_ack(dst, size, pkt.ack_ecn)
+                new_window = self.ecn.on_ack(dst, size, pkt.ack_ecn)
+                if new_window is not None and self.obs is not None:
+                    self.obs.emit(
+                        cycle, "ecn.window_cut", -1, self.node, -1, -1,
+                        new_window,
+                    )
             net.on_ack_delivered(pkt, cycle)
             return
 
@@ -253,6 +261,9 @@ class Endpoint:
         flit = pkt.flits[idx]
         self.flit_out.send((vc, flit), cycle)
         self.flits_injected += 1
+        if flit.head and self.obs is not None:
+            self.obs.emit(cycle, "flit.inject", -1, self.node, vc,
+                          pkt.pid, pkt.size)
         if flit.tail:
             del streams[vc]
         else:

@@ -9,6 +9,7 @@ from repro.engine.channel import Channel, CreditChannel
 from repro.engine.config import (
     EcnParams,
     NetworkConfig,
+    ObsParams,
     ReliabilityParams,
     SimParams,
     StashParams,
@@ -23,6 +24,7 @@ from repro.engine.parallel import (
     SweepError,
     Timed,
     derive_run_seed,
+    drain_run_log,
     run_specs,
 )
 from repro.engine.rng import DeterministicRng
@@ -43,6 +45,7 @@ __all__ = [
     "Histogram",
     "LatencyStats",
     "NetworkConfig",
+    "ObsParams",
     "RateMeter",
     "ReliabilityParams",
     "RunOutcome",
@@ -55,6 +58,7 @@ __all__ = [
     "TimeSeries",
     "Timed",
     "derive_run_seed",
+    "drain_run_log",
     "paper_preset",
     "run_specs",
     "small_preset",

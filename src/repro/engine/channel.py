@@ -57,6 +57,7 @@ class Channel(Generic[T]):
         return out
 
     def peek_ready(self, cycle: int) -> T | None:
+        """The next due item without draining it, or None."""
         if self._queue and self._queue[0][0] <= cycle:
             return self._queue[0][1]
         return None
@@ -66,6 +67,7 @@ class Channel(Generic[T]):
 
     @property
     def empty(self) -> bool:
+        """True when nothing is in flight on this channel."""
         return not self._queue
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -80,4 +82,5 @@ class CreditChannel(Channel[Any]):
     """
 
     def send_credit(self, vc: int, flits: int, cycle: int) -> None:
+        """Return ``flits`` credits for VC ``vc`` upstream."""
         self.send((vc, flits), cycle)

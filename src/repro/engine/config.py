@@ -28,6 +28,7 @@ __all__ = [
     "EcnParams",
     "LinkParams",
     "NetworkConfig",
+    "ObsParams",
     "OrderingParams",
     "ReliabilityParams",
     "SimParams",
@@ -98,10 +99,12 @@ class SwitchParams:
 
     @property
     def row_buffer_flits(self) -> int:
+        """Row-bus buffer depth per tile, in flits."""
         return self.row_buffer_packets * self.max_packet_flits
 
     @property
     def col_buffer_flits(self) -> int:
+        """Column-channel buffer depth per tile output, in flits."""
         return self.col_buffer_packets * self.max_packet_flits
 
     @property
@@ -282,6 +285,7 @@ class DragonflyParams:
 
     @property
     def groups(self) -> int:
+        """Group count: explicit override or the maximal a*h + 1."""
         return self.num_groups if self.num_groups else self.a * self.h + 1
 
     @property
@@ -291,10 +295,12 @@ class DragonflyParams:
 
     @property
     def num_switches(self) -> int:
+        """Total switches: a per group."""
         return self.a * self.groups
 
     @property
     def num_nodes(self) -> int:
+        """Total endpoints: p per switch."""
         return self.p * self.num_switches
 
 
@@ -316,6 +322,40 @@ class SimParams:
 
 
 @dataclass(frozen=True)
+class ObsParams:
+    """Observability (:mod:`repro.obs`): counters and event tracing.
+
+    Disabled by default — the simulator then constructs no registry or
+    trace at all, preserving the zero-overhead-when-off contract of
+    docs/OBSERVABILITY.md.  ``trace_events`` restricts tracing to an
+    allowlist of event types (empty = all); ``trace_start`` /
+    ``trace_stop`` bound the traced cycle window; ``trace_stride`` keeps
+    every N-th occurrence per event type; ``max_trace_records`` caps the
+    in-memory trace buffer (overflow is counted, not stored).
+    """
+
+    enabled: bool = False
+    trace: bool = False
+    trace_events: tuple[str, ...] = ()
+    trace_start: int = 0
+    trace_stop: int | None = None
+    trace_stride: int = 1
+    max_trace_records: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.trace and not self.enabled:
+            raise ValueError("tracing requires obs.enabled")
+        if self.trace_start < 0:
+            raise ValueError("trace_start must be non-negative")
+        if self.trace_stop is not None and self.trace_stop <= self.trace_start:
+            raise ValueError("trace_stop must exceed trace_start")
+        if self.trace_stride < 1:
+            raise ValueError("trace_stride must be >= 1")
+        if self.max_trace_records < 1:
+            raise ValueError("max_trace_records must be >= 1")
+
+
+@dataclass(frozen=True)
 class NetworkConfig:
     """Everything needed to build and run one simulated network."""
 
@@ -327,6 +367,7 @@ class NetworkConfig:
     ordering: OrderingParams = field(default_factory=OrderingParams)
     link: LinkParams = field(default_factory=LinkParams)
     sim: SimParams = field(default_factory=SimParams)
+    obs: ObsParams = field(default_factory=ObsParams)
 
     def __post_init__(self) -> None:
         if self.dragonfly.switch_radix > self.switch.num_ports:

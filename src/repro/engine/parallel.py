@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from repro.engine.rng import DeterministicRng
+from repro.obs.observer import ObsCapture, live_mark, take_captures
 
 __all__ = [
     "RunOutcome",
@@ -41,6 +42,7 @@ __all__ = [
     "SweepError",
     "Timed",
     "derive_run_seed",
+    "drain_run_log",
     "run_specs",
 ]
 
@@ -90,6 +92,9 @@ class RunOutcome:
     wall_seconds: float
     cycles: int | None
     attempts: int
+    # observability captures from networks built by this point (empty
+    # unless the point's config enables repro.obs)
+    obs: tuple = ()
 
     @property
     def cycles_per_second(self) -> float:
@@ -103,18 +108,26 @@ class SweepError(RuntimeError):
     """A sweep point kept failing after its retry budget was exhausted."""
 
 
-def _run_point(index: int, spec: RunSpec) -> tuple[int, Any, float, int | None]:
-    """Execute one spec (in-process or inside a pool worker)."""
+def _run_point(
+    index: int, spec: RunSpec
+) -> tuple[int, Any, float, int | None, tuple]:
+    """Execute one spec (in-process or inside a pool worker).
+
+    Observability captures are scooped with a ``live_mark()`` /
+    ``take_captures(mark)`` bracket so the point only collects the
+    networks it built itself, wherever the worker runs."""
     kwargs = dict(spec.kwargs)
     if spec.seed is not None:
         kwargs["seed"] = spec.seed
+    mark = live_mark()
     t0 = time.perf_counter()
     value = spec.fn(*spec.args, **kwargs)
     wall = time.perf_counter() - t0
+    caps = tuple(take_captures(mark))
     cycles: int | None = None
     if isinstance(value, Timed):
         value, cycles = value.value, value.cycles
-    return index, value, wall, cycles
+    return index, value, wall, cycles, caps
 
 
 def run_specs(
@@ -139,9 +152,12 @@ def run_specs(
     total = len(specs)
     results: list[RunOutcome | None] = [None] * total
     done = 0
+    global _sweep_seq
+    seq = _sweep_seq
+    _sweep_seq += 1
 
     def finish(i: int, value: Any, wall: float, cycles: int | None,
-               attempts: int) -> None:
+               caps: tuple, attempts: int) -> None:
         nonlocal done
         outcome = RunOutcome(
             key=specs[i].key,
@@ -150,16 +166,19 @@ def run_specs(
             wall_seconds=wall,
             cycles=cycles,
             attempts=attempts,
+            obs=caps,
         )
         results[i] = outcome
         done += 1
+        if caps:
+            _run_log.append((seq, i, caps))
         if progress is not None:
             progress(done, total, outcome)
 
     if jobs <= 1 or total <= 1:
         for i, spec in enumerate(specs):
-            _, value, wall, cycles = _run_point(i, spec)
-            finish(i, value, wall, cycles, attempts=1)
+            _, value, wall, cycles, caps = _run_point(i, spec)
+            finish(i, value, wall, cycles, caps, attempts=1)
         return results  # type: ignore[return-value]
 
     attempts = [0] * total
@@ -175,7 +194,7 @@ def run_specs(
             for fut in as_completed(futures):
                 i = futures[fut]
                 try:
-                    _, value, wall, cycles = fut.result()
+                    _, value, wall, cycles, caps = fut.result()
                 except Exception as exc:
                     # worker crash (BrokenProcessPool) or raised exception
                     if attempts[i] > max_retries:
@@ -185,6 +204,26 @@ def run_specs(
                         ) from exc
                     retry.append(i)
                     continue
-                finish(i, value, wall, cycles, attempts=attempts[i])
+                finish(i, value, wall, cycles, caps, attempts=attempts[i])
         pending = retry
     return results  # type: ignore[return-value]
+
+
+# -- observability run log ---------------------------------------------
+#
+# Captures taken by sweep points, keyed (sweep sequence, spec index) so
+# draining yields the same order however the points were scheduled.
+
+_run_log: list[tuple[int, int, tuple]] = []
+_sweep_seq = 0
+
+
+def drain_run_log() -> list[ObsCapture]:
+    """Return every capture logged by sweeps since the last drain.
+
+    Ordered by (sweep sequence, spec index) — deterministic for any
+    ``jobs`` value — with each point's captures in construction order.
+    """
+    entries = sorted(_run_log, key=lambda e: (e[0], e[1]))
+    del _run_log[:]
+    return [cap for _seq, _i, caps in entries for cap in caps]

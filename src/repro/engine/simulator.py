@@ -24,7 +24,9 @@ __all__ = ["Component", "Simulator"]
 class Component(Protocol):
     """Anything the simulator steps once per cycle."""
 
-    def step(self, cycle: int) -> None: ...
+    def step(self, cycle: int) -> None:
+        """Advance this component to the end of ``cycle``."""
+        ...
 
 
 class Simulator:
@@ -36,6 +38,7 @@ class Simulator:
         self._samplers: list[tuple[int, int, Callable[[int], None]]] = []
 
     def add(self, component: Component) -> None:
+        """Register a component; step order is registration order."""
         self._components.append(component)
 
     def add_sampler(self, period: int, fn: Callable[[int], None]) -> None:

@@ -24,6 +24,7 @@ class LatencyStats:
         self.enabled = True
 
     def record(self, value: float) -> None:
+        """Add one latency sample (ignored while disabled)."""
         if not self.enabled:
             return
         self._samples.append(float(value))
@@ -40,20 +41,24 @@ class LatencyStats:
 
     @property
     def count(self) -> int:
+        """Number of recorded samples."""
         return len(self._samples)
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of the samples (NaN when empty)."""
         if not self._samples:
             return math.nan
         return sum(self._samples) / len(self._samples)
 
     @property
     def max(self) -> float:
+        """Largest sample (NaN when empty)."""
         return max(self._samples) if self._samples else math.nan
 
     @property
     def min(self) -> float:
+        """Smallest sample (NaN when empty)."""
         return min(self._samples) if self._samples else math.nan
 
     def percentile(self, pct: float) -> float:
@@ -81,6 +86,7 @@ class LatencyStats:
         return xs, counts / data.size
 
     def merged_with(self, other: "LatencyStats") -> "LatencyStats":
+        """A new collector holding both sample sets."""
         out = LatencyStats()
         out._samples = self._samples + other._samples
         out._sorted = False
@@ -96,17 +102,21 @@ class RateMeter:
         self._window_end: int | None = None
 
     def open_window(self, cycle: int) -> None:
+        """Start counting at ``cycle`` (resets the count)."""
         self._window_start = cycle
         self.count = 0
 
     def close_window(self, cycle: int) -> None:
+        """Stop counting at ``cycle``; :meth:`rate` becomes defined."""
         self._window_end = cycle
 
     @property
     def active(self) -> bool:
+        """True while a window is open (events are being counted)."""
         return self._window_start is not None and self._window_end is None
 
     def record(self, amount: int = 1) -> None:
+        """Count ``amount`` events if the window is open."""
         if self.active:
             self.count += amount
 
@@ -148,11 +158,13 @@ class TimeSeries:
         self._counts: dict[int, int] = {}
 
     def record(self, cycle: int, value: float) -> None:
+        """Accumulate ``value`` into the bin containing ``cycle``."""
         bin_id = cycle // self.period
         self._sums[bin_id] = self._sums.get(bin_id, 0.0) + value
         self._counts[bin_id] = self._counts.get(bin_id, 0) + 1
 
     def series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(bin centre, bin mean) arrays over the recorded span."""
         if not self._sums:
             return np.empty(0), np.empty(0)
         first = min(self._sums)
@@ -181,6 +193,7 @@ class Histogram:
         self.counts = np.zeros(num_bins, dtype=np.int64)
 
     def record(self, value: float) -> None:
+        """Count ``value`` in its bin (clamped to the bounds)."""
         frac = (value - self.lo) / (self.hi - self.lo)
         idx = int(frac * len(self.counts))
         idx = max(0, min(len(self.counts) - 1, idx))
@@ -188,9 +201,11 @@ class Histogram:
 
     @property
     def total(self) -> int:
+        """Total samples recorded across all bins."""
         return int(self.counts.sum())
 
     def normalized(self) -> np.ndarray:
+        """Bin counts as fractions of the total (zeros when empty)."""
         total = self.total
         if total == 0:
             return np.zeros_like(self.counts, dtype=float)

@@ -16,6 +16,7 @@ from repro.engine.config import NetworkConfig
 from repro.engine.parallel import RunSpec, Timed, derive_run_seed, run_specs
 from repro.experiments.common import preset_by_name
 from repro.network import Network
+from repro.obs.timeline import Timeline
 
 __all__ = [
     "OccupancyRow",
@@ -51,32 +52,33 @@ def _census_point(
 
     topo = net.topology
     classes = ("endpoint", "local", "global")
-    # (switch, port) -> link class, and per-port peak tracker
+    # one Timeline tracker per active (switch, port): committed input +
+    # output occupancy, sampled every sample_period cycles
     port_class: dict[tuple[int, int], str] = {}
-    peak: dict[tuple[int, int], int] = {}
+    tl = Timeline(sample_period)
     for s in range(topo.num_switches):
         for spec in topo.switch_ports(s):
             if spec.link_class in classes:
-                port_class[(s, spec.port)] = spec.link_class
-                peak[(s, spec.port)] = 0
-
-    def probe(_cycle: int) -> None:
-        for (s, p), current in peak.items():
-            sw = net.switches[s]
-            occ = (
-                sw.in_ports[p].damq.total_committed
-                + sw.out_ports[p].out_damq.total_committed
-            )
-            if occ > current:
-                peak[(s, p)] = occ
-
-    net.sim.add_sampler(sample_period, probe)
+                p = spec.port
+                port_class[(s, p)] = spec.link_class
+                ip, op = net.switches[s].in_ports[p], net.switches[s].out_ports[p]
+                tl.track(
+                    f"occ.{s}.{p}",
+                    lambda ip=ip, op=op: (
+                        ip.damq.total_committed + op.out_damq.total_committed
+                    ),
+                )
+    tl.install(net.sim)
     net.sim.run(base.sim.warmup_cycles + base.sim.measure_cycles)
 
     capacity = base.switch.input_buffer_flits + base.switch.output_buffer_flits
     rows = []
     for cls in classes:
-        peaks = [v for key, v in peak.items() if port_class[key] == cls]
+        peaks = [
+            tl.peak(f"occ.{s}.{p}")
+            for (s, p), c in port_class.items()
+            if c == cls
+        ]
         if not peaks:
             continue
         rows.append(

@@ -170,6 +170,19 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for sweep points (default: 1 = serial; "
         "results are bit-identical for any N)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect repro.obs counters and print the merged snapshot "
+        "after each experiment",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a merged JSONL event trace (repro.obs schema) to "
+        "FILE; byte-identical for any --jobs value",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -182,7 +195,16 @@ def main(argv: list[str] | None = None) -> int:
 
         base = base.with_(sim=replace(base.sim, seed=args.seed))
 
+    obs_on = args.metrics or args.trace is not None
+    if obs_on:
+        from repro.engine.config import ObsParams
+
+        base = base.with_(
+            obs=ObsParams(enabled=True, trace=args.trace is not None)
+        )
+
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    captures = []
     for name in names:
         t0 = time.perf_counter()
         print(f"=== {name} (preset={args.preset}) ===")
@@ -191,7 +213,32 @@ def main(argv: list[str] | None = None) -> int:
         # wall-clock varies run to run; keep stdout deterministic
         print(f"--- {name} done in {time.perf_counter() - t0:.1f}s ---",
               file=sys.stderr)
+        if obs_on:
+            captures.extend(_drain_captures())
+
+    if args.metrics and captures:
+        from repro.analysis.obsview import format_counters, merged_counters
+
+        print("=== metrics (merged) ===")
+        print(format_counters(merged_counters(captures)))
+        print()
+    if args.trace is not None:
+        from repro.analysis.obsview import write_trace
+
+        records = write_trace(args.trace, captures)
+        print(f"wrote {records} trace records from {len(captures)} run(s) "
+              f"to {args.trace}", file=sys.stderr)
     return 0
+
+
+def _drain_captures() -> list:
+    """Collect captures from sweep points (in (sweep, index) order) and
+    any networks the experiment built outside a sweep (in construction
+    order) — the same order for any ``--jobs`` value."""
+    from repro.engine.parallel import drain_run_log
+    from repro.obs.observer import take_captures
+
+    return drain_run_log() + take_captures()
 
 
 if __name__ == "__main__":

@@ -26,6 +26,8 @@ from repro.engine.config import NetworkConfig
 from repro.engine.rng import DeterministicRng
 from repro.engine.simulator import Simulator
 from repro.engine.stats import LatencyStats, RateMeter
+from repro.obs.events import EventTrace
+from repro.obs.observer import NetworkObserver
 from repro.routing import make_dragonfly_router
 from repro.routing.routing import Router
 from repro.routing.single_switch_routing import SingleSwitchRouter
@@ -122,6 +124,26 @@ class Network:
         self._meas_delivered = 0
         self.total_data_packets_delivered = 0
         self.on_packet_delivered_hooks: list = []
+
+        # observability (repro.obs): both stay None unless enabled in the
+        # config, so the emit guards in the hot paths cost one attribute
+        # check and the counters cost nothing until captured
+        self.obs: NetworkObserver | None = None
+        self._trace: EventTrace | None = None
+        if config.obs.enabled:
+            self.obs = NetworkObserver(config.obs)
+            self.obs.attach(self)
+            trace = self.obs.trace
+            if trace is not None:
+                self._trace = trace
+                for sw in self.switches:
+                    sw.obs = trace
+                    for ip in sw.in_ports:
+                        ip.obs = trace
+                    for op in sw.out_ports:
+                        op.obs = trace
+                for ep in self.endpoints:
+                    ep.obs = trace
 
     # ------------------------------------------------------------------
     # construction
@@ -248,6 +270,9 @@ class Network:
                     msg.on_complete(msg, cycle)
         for hook in self.on_packet_delivered_hooks:
             hook(pkt, cycle)
+        if self._trace is not None:
+            self._trace.emit(cycle, "packet.deliver", -1, pkt.dst, -1,
+                             pkt.pid, cycle - pkt.birth_cycle)
 
     def _record_latency(self, pkt: Packet, cycle: int) -> None:
         self._meas_delivered += 1

@@ -1,0 +1,69 @@
+"""Observability: typed counters, structured event traces, timelines.
+
+``repro.obs`` is the measurement layer of the simulator.  It is
+**zero-overhead when off**: with :class:`~repro.engine.config.ObsParams`
+disabled (the default) no registry, trace, or timeline object is ever
+constructed, and the only cost left in the cycle loop is a handful of
+``if obs is not None`` attribute checks at packet granularity.
+
+Three instruments, by time scale:
+
+* :class:`CounterRegistry` — end-of-run aggregates (monotonic counters,
+  gauges, fixed-edge histograms) harvested from the component counters
+  the datapath already maintains; costs nothing during the run.
+* :class:`EventTrace` — per-cycle structured events (flit injections,
+  stash store/retrieve/evict, credit stalls, ECN marks) behind sampling
+  filters, exported as JSONL or CSV with a stable schema.
+* :class:`Timeline` — periodic occupancy sampling per tile/port/switch,
+  rendered by :mod:`repro.analysis.obsview`.
+
+See ``docs/OBSERVABILITY.md`` for the event taxonomy, naming
+convention, trace schema, and the determinism contract for traces
+merged across ``--jobs N`` worker processes.
+"""
+
+from repro.obs.counters import (
+    Counter,
+    CounterRegistry,
+    FixedHistogram,
+    Gauge,
+    merge_snapshots,
+)
+from repro.obs.events import (
+    EVENT_TYPES,
+    SCHEMA_FIELDS,
+    SCHEMA_VERSION,
+    EventTrace,
+    trace_csv_lines,
+    trace_header_line,
+    trace_record_line,
+)
+from repro.obs.observer import (
+    NetworkObserver,
+    ObsCapture,
+    live_mark,
+    merge_entries,
+    take_captures,
+)
+from repro.obs.timeline import Timeline
+
+__all__ = [
+    "Counter",
+    "CounterRegistry",
+    "EVENT_TYPES",
+    "EventTrace",
+    "FixedHistogram",
+    "Gauge",
+    "NetworkObserver",
+    "ObsCapture",
+    "SCHEMA_FIELDS",
+    "SCHEMA_VERSION",
+    "Timeline",
+    "live_mark",
+    "merge_entries",
+    "merge_snapshots",
+    "take_captures",
+    "trace_csv_lines",
+    "trace_header_line",
+    "trace_record_line",
+]

@@ -1,0 +1,176 @@
+"""Per-network observers, picklable captures, and deterministic merging.
+
+A :class:`NetworkObserver` is created by :class:`repro.network.Network`
+when :class:`~repro.engine.config.ObsParams` is enabled.  It owns the
+run's :class:`~repro.obs.events.EventTrace` (handed to the instrumented
+components as their ``obs`` attribute) and, at capture time, *harvests*
+the aggregate counters the datapath maintains anyway — so counters cost
+nothing during the run.
+
+Captures cross process boundaries: observers register themselves in a
+process-local list, :func:`take_captures` drains it into picklable
+:class:`ObsCapture` values, and the sweep executor
+(:mod:`repro.engine.parallel`) attaches them to each
+:class:`~repro.engine.parallel.RunOutcome` and logs them to a run log
+keyed by ``(sweep sequence, spec index)``.  Merging sorts on that key —
+never on completion order — which is what makes a merged ``--jobs N``
+trace byte-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.obs.counters import CounterRegistry
+from repro.obs.events import EventTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.config import ObsParams
+    from repro.network import Network
+
+__all__ = [
+    "NetworkObserver",
+    "ObsCapture",
+    "live_mark",
+    "merge_entries",
+    "take_captures",
+]
+
+
+@dataclass(frozen=True)
+class ObsCapture:
+    """One network's observability output, as plain picklable data."""
+
+    counters: dict = field(default_factory=dict)
+    records: tuple = ()
+    dropped: int = 0
+
+
+class NetworkObserver:
+    """Counter registry + event trace for one :class:`Network`."""
+
+    def __init__(self, params: "ObsParams") -> None:
+        self.params = params
+        self.registry = CounterRegistry()
+        self.trace: EventTrace | None = None
+        if params.trace:
+            self.trace = EventTrace(
+                events=params.trace_events,
+                start=params.trace_start,
+                stop=params.trace_stop,
+                stride=params.trace_stride,
+                max_records=params.max_trace_records,
+            )
+        self.net: "Network | None" = None
+
+    def attach(self, net: "Network") -> None:
+        """Bind to the network whose counters this observer harvests."""
+        self.net = net
+        _LIVE.append(self)
+
+    def capture(self) -> ObsCapture:
+        """Harvest the network's counters and freeze the trace buffer."""
+        assert self.net is not None
+        self._harvest(self.net)
+        trace = self.trace
+        return ObsCapture(
+            counters=self.registry.snapshot(),
+            records=tuple(trace.records) if trace is not None else (),
+            dropped=trace.dropped if trace is not None else 0,
+        )
+
+    # -- harvesting ----------------------------------------------------
+
+    def _harvest(self, net: "Network") -> None:
+        """Collect the end-of-run aggregates the datapath already keeps.
+
+        Nothing here runs during the simulation: every value below is a
+        counter the switches, ports, and endpoints maintain for their own
+        bookkeeping, renamed into the ``layer.component.metric`` scheme.
+        """
+        reg = self.registry
+        count = reg.counter
+        gauge = reg.gauge
+
+        count("engine.sim.cycles").add(net.sim.cycle)
+        count("engine.sim.components").add(len(net.switches) + len(net.endpoints))
+
+        for ep in net.endpoints:
+            count("endpoint.nic.flits_generated").add(ep.flits_generated)
+            count("endpoint.nic.flits_injected").add(ep.flits_injected)
+            count("endpoint.nic.flits_ejected").add(ep.flits_ejected)
+            count("endpoint.nic.packets_delivered").add(ep.packets_delivered)
+            count("endpoint.nic.packets_corrupted").add(ep.packets_corrupted)
+            count("endpoint.nic.packets_reorder_dropped").add(
+                ep.packets_reorder_dropped
+            )
+            count("endpoint.nic.messages_posted").add(ep.messages_posted)
+            count("endpoint.ecn.marked_acks").add(ep.ecn.ecn_acks)
+            count("endpoint.ecn.window_cuts").add(ep.ecn.window_cuts)
+
+        for sw in net.switches:
+            for ip in sw.in_ports:
+                count("switch.input.flits_received").add(ip.flits_received)
+                count("switch.input.flits_sent").add(ip.flits_sent)
+                count("switch.input.packets_marked").add(ip.packets_marked)
+                count("switch.input.packets_diverted").add(ip.packets_diverted)
+                count("switch.input.copies_dispatched").add(ip.copies_dispatched)
+                count("switch.input.stalls_no_stash").add(ip.stall_no_stash)
+                gauge("switch.damq.peak_committed_in").set(ip.damq.peak_committed)
+            for op in sw.out_ports:
+                count("switch.output.flits_sent").add(op.flits_sent)
+                count("switch.output.credit_stalls").add(op.credit_stalls)
+                gauge("switch.damq.peak_committed_out").set(
+                    op.out_damq.peak_committed
+                )
+            if sw.stash_dir is not None:
+                for part in sw.stash_dir.partitions:
+                    count("switch.stash.stores").add(part.stored_total)
+                    count("switch.stash.deletes").add(part.deleted_total)
+                    count("switch.stash.retrieves").add(part.retrieved_total)
+                    gauge("switch.stash.peak_committed").set(part.peak_committed)
+                count("switch.stash.retransmits_issued").add(
+                    sw.retransmits_issued
+                )
+                count("switch.stash.deletes_applied").add(sw.deletes_applied)
+
+
+# -- process-local capture plumbing ------------------------------------
+
+_LIVE: list[NetworkObserver] = []
+
+
+def live_mark() -> int:
+    """Bookmark the live-observer list (see :func:`take_captures`)."""
+    return len(_LIVE)
+
+
+def take_captures(since: int = 0) -> list[ObsCapture]:
+    """Drain observers registered at or after bookmark ``since``.
+
+    The sweep executor brackets each point with ``live_mark()`` /
+    ``take_captures(mark)`` so a point only collects the networks *it*
+    built; the experiment runner drains the remainder (networks built
+    outside any sweep) with the default ``since=0``.
+    """
+    taken = _LIVE[since:]
+    del _LIVE[since:]
+    return [obs.capture() for obs in taken]
+
+
+def merge_entries(entries: list[tuple[str, ObsCapture]]) -> list[str]:
+    """Render labelled captures as JSONL lines (header first).
+
+    ``entries`` must already be in deterministic order — (sweep
+    sequence, spec index) for pooled points, construction order for
+    in-process networks.  Records within a capture keep emit order.
+    """
+    from repro.obs.events import trace_header_line, trace_record_line
+
+    dropped = sum(cap.dropped for _run, cap in entries)
+    lines = [trace_header_line(len(entries), dropped)]
+    for run, cap in entries:
+        for record in cap.records:
+            lines.append(trace_record_line(run, record))
+    return lines

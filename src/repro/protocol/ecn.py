@@ -57,9 +57,13 @@ class EcnWindows:
             return
         self._in_flight[dst] = self.in_flight(dst) + size
 
-    def on_ack(self, dst: int, size: int, ecn_marked: bool) -> None:
+    def on_ack(self, dst: int, size: int, ecn_marked: bool) -> float | None:
+        """Credit a returning ACK; apply multiplicative decrease if it
+        carries the ECN bit.  Returns the new window size when this ACK
+        actually shrank the window (the ``ecn.window_cut`` trace event),
+        else None."""
         if not self.enabled:
-            return
+            return None
         remaining = self.in_flight(dst) - size
         if remaining < 0:
             raise RuntimeError(f"ACK underflow for destination {dst}")
@@ -70,10 +74,14 @@ class EcnWindows:
                 float(self.params.window_min_flits),
                 self.window(dst) * self.params.window_decrease,
             )
-            if cut < self.window(dst):
+            shrank = cut < self.window(dst)
+            if shrank:
                 self.window_cuts += 1
             self._window[dst] = cut
             self._recovering.add(dst)
+            if shrank:
+                return cut
+        return None
 
     def tick(self, cycle: int) -> None:
         """Additive window recovery; call once per cycle."""

@@ -61,19 +61,23 @@ class VcStreamLock:
         self._holders: list[Hashable | None] = [None] * num_vcs
 
     def holder(self, vc: int) -> Hashable | None:
+        """The source currently streaming on ``vc``, or None."""
         return self._holders[vc]
 
     def available_to(self, vc: int, source: Hashable) -> bool:
+        """True if ``source`` may send on ``vc`` (free or held by it)."""
         holder = self._holders[vc]
         return holder is None or holder == source
 
     def acquire(self, vc: int, source: Hashable) -> None:
+        """Lock ``vc`` to ``source`` (its packet's head flit won)."""
         holder = self._holders[vc]
         if holder is not None and holder != source:
             raise RuntimeError(f"VC {vc} already locked by {holder!r}")
         self._holders[vc] = source
 
     def release(self, vc: int, source: Hashable) -> None:
+        """Free ``vc`` (the holder's tail flit passed)."""
         if self._holders[vc] != source:
             raise RuntimeError(
                 f"VC {vc} released by {source!r} but held by "

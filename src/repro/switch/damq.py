@@ -53,6 +53,8 @@ class VcSpaceAccounting:
         "committed",
         "_shared_used",
         "shared_capacity",
+        "_total",
+        "peak_committed",
     )
 
     def __init__(
@@ -78,12 +80,16 @@ class VcSpaceAccounting:
         self.committed = [0] * num_vcs
         self._shared_used = 0
         self.shared_capacity = capacity - sum(reserves)
+        self._total = 0
+        self.peak_committed = 0
 
     @property
     def total_committed(self) -> int:
-        return sum(self.committed)
+        """Flits committed across all VCs (running total, O(1))."""
+        return self._total
 
     def can_admit(self, vc: int, flits: int) -> bool:
+        """True if VC ``vc`` could commit ``flits`` more flits right now."""
         private_free = self.reserves[vc] - self.committed[vc]
         if private_free >= flits:
             return True
@@ -92,6 +98,7 @@ class VcSpaceAccounting:
         return flits <= self.shared_capacity - self._shared_used
 
     def admit(self, vc: int, flits: int) -> None:
+        """Commit ``flits`` flits to VC ``vc`` (reserve first, then pool)."""
         if not self.can_admit(vc, flits):
             raise RuntimeError(
                 f"admit({vc}, {flits}) without space: occ={self.committed[vc]}, "
@@ -106,8 +113,13 @@ class VcSpaceAccounting:
         self._shared_used += (over_new if over_new > 0 else 0) - (
             over_old if over_old > 0 else 0
         )
+        total = self._total + flits
+        self._total = total
+        if total > self.peak_committed:
+            self.peak_committed = total
 
     def release(self, vc: int, flits: int = 1) -> None:
+        """Return ``flits`` flits of VC ``vc``'s space to reserve/pool."""
         occ = self.committed[vc]
         if flits > occ:
             raise RuntimeError(f"release({vc}, {flits}) exceeds occupancy {occ}")
@@ -115,8 +127,10 @@ class VcSpaceAccounting:
         if over > 0:
             self._shared_used -= over if over < flits else flits
         self.committed[vc] = occ - flits
+        self._total -= flits
 
     def occupancy_fraction(self) -> float:
+        """Committed occupancy as a fraction of total capacity."""
         return self.total_committed / self.capacity if self.capacity else 0.0
 
 
@@ -139,27 +153,36 @@ class Damq:
 
     @property
     def num_vcs(self) -> int:
+        """Number of virtual-channel FIFOs sharing this buffer."""
         return self.space.num_vcs
 
     @property
     def capacity(self) -> int:
+        """Total flit capacity of the shared physical memory."""
         return self.space.capacity
 
     def can_admit(self, vc: int, flits: int = 1) -> bool:
+        """True if ``flits`` arriving flits of VC ``vc`` would fit."""
         return self.space.can_admit(vc, flits)
 
     def admit_flit(self, vc: int) -> None:
+        """Account one arriving flit of VC ``vc`` (space must be free)."""
         self.space.admit(vc, 1)
 
     def push(self, vc: int, flit: Flit) -> None:
+        """File an admitted flit at the tail of its VC FIFO."""
         self.queues[vc].append(flit)
         self.flit_count += 1
 
     def front(self, vc: int) -> Flit | None:
+        """The head flit of VC ``vc``, or None when its FIFO is empty."""
         q = self.queues[vc]
         return q[0] if q else None
 
     def pop(self, vc: int) -> Flit:
+        """Remove VC ``vc``'s head flit and release its space.
+
+        The caller owes the upstream sender one credit for it."""
         flit = self.queues[vc].popleft()
         self.flit_count -= 1
         self.space.release(vc, 1)
@@ -174,15 +197,23 @@ class Damq:
         return self.queues[vc].popleft()
 
     def vc_flits(self, vc: int) -> int:
+        """Flits currently queued on VC ``vc``."""
         return len(self.queues[vc])
 
     @property
     def total_flits(self) -> int:
+        """Flits physically queued (excludes popped-but-retained space)."""
         return self.flit_count
 
     @property
     def total_committed(self) -> int:
+        """Flits of space committed, including post-pop retention."""
         return self.space.total_committed
+
+    @property
+    def peak_committed(self) -> int:
+        """High-water mark of committed occupancy over the buffer's life."""
+        return self.space.peak_committed
 
     def occupancy_fraction(self) -> float:
         """Committed occupancy over capacity (drives ECN detection)."""
@@ -190,6 +221,7 @@ class Damq:
 
     @property
     def empty(self) -> bool:
+        """True when no flits are queued and no space is committed."""
         return self.total_flits == 0 and self.space.total_committed == 0
 
 
@@ -211,14 +243,18 @@ class DamqMirror:
         self.space = VcSpaceAccounting(num_vcs, capacity, reserve)
 
     def can_send_flit(self, vc: int) -> bool:
+        """True if the downstream buffer has credit for one ``vc`` flit."""
         return self.space.can_admit(vc, 1)
 
     def debit_flit(self, vc: int) -> None:
+        """Consume one ``vc`` credit for a flit just sent downstream."""
         self.space.admit(vc, 1)
 
     def credit(self, vc: int, flits: int = 1) -> None:
+        """Apply ``flits`` returning credits for VC ``vc``."""
         self.space.release(vc, flits)
 
     @property
     def in_flight(self) -> int:
+        """Flits sent but not yet credited back by the downstream buffer."""
         return self.space.total_committed

@@ -20,6 +20,8 @@ __all__ = ["Flit", "Message", "Packet", "PacketKind"]
 
 
 class PacketKind(IntEnum):
+    """Wire-level packet type: payload DATA or single-flit ACK."""
+
     DATA = 0
     ACK = 1
 
@@ -124,10 +126,12 @@ class Packet:
 
     @property
     def head_flit(self) -> Flit:
+        """The packet's first flit (carries routing state)."""
         return self.flits[0]
 
     @property
     def tail_flit(self) -> Flit:
+        """The packet's last flit (its arrival completes delivery)."""
         return self.flits[-1]
 
     @property
@@ -207,6 +211,7 @@ class Message:
 
     @property
     def delivered(self) -> bool:
+        """True once every segmented packet has been delivered."""
         return self.packets_total > 0 and self.packets_delivered >= self.packets_total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.stash import StashJob, StashPartition
 from repro.engine.channel import Channel, CreditChannel
+from repro.obs.events import EventTrace
 from repro.switch.arbiters import RoundRobinArbiter, VcStreamLock
 from repro.switch.damq import Damq, DamqMirror
 from repro.switch.flit import Flit, PacketKind
@@ -34,6 +35,10 @@ _NORMAL, _DUP, _DIVERT = 0, 1, 2
 
 
 class InputPort:
+    """One switch input port: link ingress, the normal DAMQ partition,
+    ECN marking / stash diversion decisions at the route stage, and the
+    row bus feeding this port's tile row (paper Sections II-III)."""
+
     __slots__ = (
         "sw",
         "idx",
@@ -52,6 +57,7 @@ class InputPort:
         "partition",
         "retrieval_queue",
         "retrieval",
+        "obs",
         "flits_received",
         "flits_sent",
         "packets_marked",
@@ -101,6 +107,8 @@ class InputPort:
         self.retrieval_queue: deque = deque()
         # in-progress retrieval: [packet, next_flit_index, col, dup_col]
         self.retrieval: list | None = None
+        # event trace when obs tracing is enabled, else None (zero cost)
+        self.obs: EventTrace | None = None
         self.flits_received = 0
         self.flits_sent = 0
         self.packets_marked = 0
@@ -156,6 +164,8 @@ class InputPort:
     # ------------------------------------------------------------------
 
     def rowbus_pass(self, cycle: int) -> None:
+        """One row-bus arbitration: at most one flit (from a VC stream or
+        the retrieval path) advances onto this input's row bus."""
         if not self.damq.flit_count and self.retrieval is None:
             if not self.retrieval_queue and (
                 self.partition is None or not self.partition.fifo_depth
@@ -320,6 +330,9 @@ class InputPort:
             ):
                 pkt.ecn = True
                 self.packets_marked += 1
+                if self.obs is not None:
+                    self.obs.emit(cycle, "ecn.mark", sw.switch_id, self.idx,
+                                  vc, pkt.pid, pkt.size)
             if kind == _DUP:
                 self.s_owner = vc
                 assert job is not None
@@ -400,6 +413,9 @@ class InputPort:
                 assert self.partition is not None
                 pkt = self.partition.pop_fifo()
                 dup_needed = False
+                if self.obs is not None:
+                    self.obs.emit(cycle, "stash.retrieve", sw.switch_id,
+                                  self.idx, -1, pkt.pid, pkt.size)
             col = pkt.intended_out_port // sw.cfg.tile_outputs
             dup_col = -1
             if dup_needed and self.s_owner is None:
@@ -433,6 +449,10 @@ class InputPort:
 
 
 class OutputPort:
+    """One switch output port: column buffers from every tile row, the
+    output mux, the normal output DAMQ with link-level retention, stash
+    store/drain plumbing, and link egress (paper Sections II-III)."""
+
     __slots__ = (
         "sw",
         "idx",
@@ -456,7 +476,9 @@ class OutputPort:
         "link_tx",
         "partition",
         "stash_staging",
+        "obs",
         "flits_sent",
+        "credit_stalls",
         "col_flits",
         "col_flits_s",
     )
@@ -509,7 +531,10 @@ class OutputPort:
         self.partition: StashPartition | None = None
         # S flits accumulated until the tail completes the stored packet
         self.stash_staging: list[tuple[Flit, StashJob]] = []
+        # event trace when obs tracing is enabled, else None (zero cost)
+        self.obs: EventTrace | None = None
         self.flits_sent = 0
+        self.credit_stalls = 0
 
     # ------------------------------------------------------------------
 
@@ -526,6 +551,8 @@ class OutputPort:
             self.col_flits += 1
 
     def apply_credits(self, cycle: int) -> None:
+        """Drain the credit channel into the downstream mirror (and the
+        link-protocol sender, which rides the same wire)."""
         if self.credit_in is None or self.mirror is None or self.credit_in.empty:
             return
         for vc, n in self.credit_in.recv_ready(cycle):
@@ -545,6 +572,7 @@ class OutputPort:
             self.link_tx.on_nack(seq)
 
     def release_retained(self, cycle: int) -> None:
+        """Free output-buffer space whose implicit-ack retention expired."""
         pending = self.pending_release
         damq = self.out_damq
         while pending and pending[0][0] <= cycle:
@@ -556,6 +584,9 @@ class OutputPort:
     # ------------------------------------------------------------------
 
     def mux_pass(self) -> None:
+        """One output-mux arbitration: move at most one flit from the
+        column buffers into the output DAMQ (R flits re-file to their
+        original VC; S flits drain via :meth:`stash_drain_pass`)."""
         if not self.col_flits:
             return
         sw = self.sw
@@ -617,6 +648,8 @@ class OutputPort:
     # ------------------------------------------------------------------
 
     def stash_drain_pass(self, cycle: int) -> None:
+        """One partition-write-port arbitration: move at most one S-VC
+        flit from the column buffers into the stash partition."""
         if not self.col_flits_s:
             return
         sw = self.sw
@@ -661,12 +694,16 @@ class OutputPort:
             sw.send_location(self.idx, job, location, cycle)
         else:
             self.partition.push_fifo(job.packet)
+        if self.obs is not None:
+            self.obs.emit(cycle, "stash.store", sw.switch_id, self.idx, -1,
+                          job.packet.pid, job.packet.size)
 
     # ------------------------------------------------------------------
     # link egress (channel clock: one flit per cycle)
     # ------------------------------------------------------------------
 
     def egress(self, cycle: int) -> None:
+        """Transmit at most one flit onto the link, credit permitting."""
         if self.flit_out is None:
             return
         if self.link_tx is not None:
@@ -707,6 +744,12 @@ class OutputPort:
             eligible.append(vc)
             link_vcs[vc] = link_vc
         if not eligible:
+            # flits are queued but none may advance: out of downstream
+            # credit (or the shared link VC is stream-locked)
+            self.credit_stalls += 1
+            if self.obs is not None:
+                self.obs.emit(cycle, "credit.stall", sw.switch_id, self.idx,
+                              -1, -1, damq.flit_count)
             return
         vc = self.link_arbiter.pick(eligible)
         link_vc = link_vcs[vc]
@@ -740,4 +783,5 @@ class OutputPort:
     # ------------------------------------------------------------------
 
     def occupancy(self) -> int:
+        """Flits buffered on the output side: DAMQ + column buffers."""
         return self.out_damq.total_flits + self.col_flits + self.col_flits_s

@@ -31,6 +31,8 @@ __all__ = ["StashingSwitch"]
 
 
 class StashingSwitch(TiledSwitch):
+    """Tiled switch with buffer stashing enabled (paper Section III)."""
+
     def __init__(
         self,
         switch_id: int,
@@ -142,6 +144,8 @@ class StashingSwitch(TiledSwitch):
     def send_location(
         self, stash_port: int, job: StashJob, location: int, cycle: int
     ) -> None:
+        """Report a completed store to the origin port's tracker over the
+        side-band network (paper Section IV-A)."""
         assert self.sideband is not None
         self.sideband.send(
             SidebandMessage(
@@ -179,6 +183,12 @@ class StashingSwitch(TiledSwitch):
             elif msg.kind == SidebandKind.DELETE:
                 partition = self.out_ports[msg.dest_port].partition
                 assert partition is not None
+                if self.obs is not None:
+                    stored = partition.get(msg.location)
+                    self.obs.emit(
+                        cycle, "stash.evict", self.switch_id, msg.dest_port,
+                        -1, msg.pid, stored.size if stored is not None else 0,
+                    )
                 partition.delete(msg.location)
                 self.deletes_applied += 1
             elif msg.kind == SidebandKind.RETRANSMIT:
@@ -205,13 +215,18 @@ class StashingSwitch(TiledSwitch):
         clone.final_vc = 0
         self.in_ports[msg.dest_port].retrieval_queue.append(clone)
         self.retransmits_issued += 1
+        if self.obs is not None:
+            self.obs.emit(cycle, "stash.retrieve", self.switch_id,
+                          msg.dest_port, -1, clone.pid, clone.size)
 
     # -- introspection ------------------------------------------------------
 
     def stash_utilization(self) -> float:
+        """Fraction of this switch's stash capacity currently committed."""
         assert self.stash_dir is not None
         return self.stash_dir.utilization()
 
     def stash_capacity_flits(self) -> int:
+        """Total stash capacity pooled across this switch's ports."""
         assert self.stash_dir is not None
         return self.stash_dir.total_capacity()

@@ -28,6 +28,10 @@ __all__ = ["Tile"]
 
 
 class Tile:
+    """One crossbar tile of the R x C array: per-slot row buffers, a
+    separable output-first allocator, and credited column channels down
+    to the output ports (paper Section II)."""
+
     __slots__ = (
         "sw",
         "row",
@@ -87,6 +91,7 @@ class Tile:
             self.jobs[slot].append(job)
 
     def occupancy(self) -> int:
+        """Flits buffered in this tile's row buffers."""
         return self.flit_count
 
     # ------------------------------------------------------------------

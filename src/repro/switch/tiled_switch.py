@@ -21,6 +21,7 @@ import random
 from typing import TYPE_CHECKING, Callable
 
 from repro.engine.config import EcnParams, SwitchParams
+from repro.obs.events import EventTrace
 from repro.routing.routing import Router
 from repro.switch.flit import Packet
 from repro.switch.port import InputPort, OutputPort
@@ -91,6 +92,10 @@ class TiledSwitch:
         self.stash_dir: StashDirectory | None = None
         self.sideband: SidebandNetwork | None = None
         self.trackers: dict[int, EndToEndTracker] | None = None
+
+        # event trace when obs tracing is enabled, else None (zero cost);
+        # assigned by the network builder together with the port copies
+        self.obs: EventTrace | None = None
 
         self.inflight = 0
         self._tokens = 0.0
@@ -184,6 +189,10 @@ class TiledSwitch:
     # -- cycle loop ------------------------------------------------------
 
     def step(self, cycle: int) -> None:
+        """Advance the switch one cycle: egress, ``speedup`` internal
+        passes (mux, stash drain, crossbars, row buses), ingress, credit
+        application, and side-band processing — downstream-first so every
+        flit moves at most one stage per cycle."""
         if self._idle():
             return
         for op in self._active_out:
@@ -252,12 +261,15 @@ class TiledSwitch:
     # -- stashing hooks (no-ops on the baseline) ---------------------------
 
     def on_copy_dispatched(self, origin_port: int, packet: Packet) -> None:
+        """Stashing hook: a reliability copy entered the S path."""
         raise RuntimeError("baseline switch cannot dispatch stash copies")
 
     def send_location(self, stash_port: int, job, location: int, cycle: int) -> None:
+        """Stashing hook: report a completed store over the side band."""
         raise RuntimeError("baseline switch has no side-band network")
 
     def observe_ack_egress(self, port: int, packet: Packet, cycle: int) -> None:
+        """Stashing hook: an end-to-end ACK egresses toward its source."""
         raise RuntimeError("baseline switch has no trackers")
 
     def _process_sideband(self, cycle: int) -> None:
@@ -266,6 +278,7 @@ class TiledSwitch:
     # -- introspection ------------------------------------------------------
 
     def total_buffered_flits(self) -> int:
+        """Flits buffered anywhere in the switch (inputs, tiles, outputs)."""
         total = 0
         for ip in self._active_in:
             total += ip.damq.total_flits
@@ -277,6 +290,7 @@ class TiledSwitch:
 
     @property
     def quiescent(self) -> bool:
+        """True when nothing is buffered, arriving, or pending here."""
         return self._idle()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,29 @@
+# expect: SIM008 -- __all__ without a module docstring
+__all__ = ["Meter", "exported"]
+
+
+def exported():  # expect: SIM008
+    return 1
+
+
+def _helper():  # private: exempt
+    return 2
+
+
+def undotted():  # not exported: exempt
+    return 3
+
+
+class Meter:  # expect: SIM008
+    def read(self):  # expect: SIM008
+        return 1
+
+    def documented(self):
+        """Has a docstring: clean."""
+        return 2
+
+    def _internal(self):  # private method: exempt
+        return 3
+
+    def __len__(self):  # dunder: exempt
+        return 0

@@ -181,6 +181,53 @@ class TestOccupancy:
             assert 0.0 <= r.idle_fraction <= 1.0
         assert "idle" in format_occupancy(rows)
 
+    def test_census_matches_independent_probe(self):
+        """Regression guard for the Timeline migration: the census must
+        report exactly what a hand-rolled sampler measures on a
+        duplicate network run under the same derived seed."""
+        from repro.engine.parallel import derive_run_seed
+        from repro.experiments.occupancy import run_occupancy_census
+        from repro.network import Network
+
+        base, load, seed, period = fast_base(), 0.4, 1, 20
+        rows = run_occupancy_census(base, load=load, seed=seed,
+                                    sample_period=period)
+
+        cfg = base.with_(sim=replace(
+            base.sim, seed=derive_run_seed(seed, f"occupancy:{load!r}")))
+        net = Network(cfg)
+        net.add_uniform_traffic(rate=load)
+        topo = net.topology
+        probes: dict[str, list] = {}
+        for s in range(topo.num_switches):
+            for spec in topo.switch_ports(s):
+                if spec.link_class in ("endpoint", "local", "global"):
+                    ip = net.switches[s].in_ports[spec.port]
+                    op = net.switches[s].out_ports[spec.port]
+                    probes.setdefault(spec.link_class, []).append(
+                        lambda ip=ip, op=op: ip.damq.total_committed
+                        + op.out_damq.total_committed
+                    )
+        samples: dict[str, list[list[int]]] = {
+            cls: [[] for _ in ps] for cls, ps in probes.items()
+        }
+
+        def sample(cycle):
+            for cls, ps in probes.items():
+                for i, probe in enumerate(ps):
+                    samples[cls][i].append(probe())
+
+        net.sim.add_sampler(period, sample)
+        net.sim.run(cfg.sim.warmup_cycles + cfg.sim.measure_cycles)
+
+        for r in rows:
+            per_port = samples[r.link_class]
+            peaks = [max(vals) for vals in per_port]
+            assert r.ports == len(peaks)
+            assert r.peak_flits == max(peaks)
+            assert r.mean_peak_flits == pytest.approx(
+                sum(peaks) / len(peaks))
+
 
 class TestFatTreeExperiment:
     def test_variants_run(self):

@@ -1,0 +1,150 @@
+"""Offline Markdown link checker tests.
+
+Exercises link extraction, GitHub anchor slugging, file/anchor
+resolution, and CLI exit codes on synthetic docs — then runs the real
+repo docs through the checker so CI failures reproduce locally.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.linkcheck import (
+    EXIT_BROKEN,
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    check_file,
+    check_paths,
+    extract_links,
+    heading_slugs,
+    main,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestExtractLinks:
+    def test_inline_links_and_images(self):
+        text = "see [a](x.md) and ![img](pics/p.png)\nthen [b](y.md#top)"
+        assert extract_links(text) == [
+            (1, "x.md"), (1, "pics/p.png"), (2, "y.md#top")
+        ]
+
+    def test_code_fences_and_spans_skipped(self):
+        text = "\n".join([
+            "real [a](x.md)",
+            "```",
+            "fenced [b](gone.md)",
+            "```",
+            "span `[c](gone.md)` after [d](y.md)",
+        ])
+        assert extract_links(text) == [(1, "x.md"), (5, "y.md")]
+
+    def test_titles_allowed(self):
+        assert extract_links('[a](x.md "Title here")') == [(1, "x.md")]
+
+
+class TestHeadingSlugs:
+    def test_github_slugging(self):
+        text = "# Quick Start!\n## repro.obs: the API\n### under_score"
+        slugs = heading_slugs(text)
+        assert "quick-start" in slugs
+        assert "reproobs-the-api" in slugs
+        assert "under_score" in slugs
+
+    def test_duplicate_headings_get_suffixes(self):
+        slugs = heading_slugs("# Setup\n## Setup\n### Setup")
+        assert {"setup", "setup-1", "setup-2"} <= slugs
+
+    def test_code_span_in_heading(self):
+        assert "the-obs-field" in heading_slugs("## The `obs` field")
+
+
+class TestCheckFile:
+    def _write(self, tmp_path: Path, name: str, text: str) -> Path:
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_good_relative_link(self, tmp_path):
+        self._write(tmp_path, "docs/A.md", "# Alpha\nbody")
+        src = self._write(tmp_path, "README.md",
+                          "[a](docs/A.md) [anchor](docs/A.md#alpha)")
+        assert check_file(src, root=tmp_path) == []
+
+    def test_missing_file_reported(self, tmp_path):
+        src = self._write(tmp_path, "README.md", "x\n[bad](nope.md)")
+        broken = check_file(src, root=tmp_path)
+        assert len(broken) == 1
+        assert broken[0].line == 2
+        assert broken[0].reason == "file not found"
+        assert "nope.md" in broken[0].render()
+
+    def test_missing_anchor_reported(self, tmp_path):
+        self._write(tmp_path, "A.md", "# Only Heading")
+        src = self._write(tmp_path, "B.md", "[x](A.md#other)")
+        broken = check_file(src, root=tmp_path)
+        assert [b.reason for b in broken] == ["missing anchor"]
+
+    def test_same_file_anchor(self, tmp_path):
+        ok = self._write(tmp_path, "A.md", "# Top\n[up](#top)")
+        assert check_file(ok, root=tmp_path) == []
+        bad = self._write(tmp_path, "B.md", "# Top\n[up](#bottom)")
+        assert len(check_file(bad, root=tmp_path)) == 1
+
+    def test_duplicate_anchor_suffix_resolves(self, tmp_path):
+        self._write(tmp_path, "A.md", "# Setup\n## Setup")
+        src = self._write(tmp_path, "B.md", "[s](A.md#setup-1)")
+        assert check_file(src, root=tmp_path) == []
+
+    def test_external_schemes_skipped(self, tmp_path):
+        src = self._write(
+            tmp_path, "A.md",
+            "[w](https://example.com/x) [m](mailto:a@b.c) [p](//cdn/x)",
+        )
+        assert check_file(src, root=tmp_path) == []
+
+    def test_repo_absolute_target(self, tmp_path):
+        self._write(tmp_path, "docs/D.md", "# D")
+        src = self._write(tmp_path, "docs/sub/S.md", "[d](/docs/D.md)")
+        assert check_file(src, root=tmp_path) == []
+        assert len(check_file(src, root=tmp_path / "docs")) == 1
+
+    def test_anchor_only_checked_for_markdown(self, tmp_path):
+        self._write(tmp_path, "data.csv", "a,b\n1,2")
+        src = self._write(tmp_path, "A.md", "[csv](data.csv#row-3)")
+        assert check_file(src, root=tmp_path) == []
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.md"
+        good.write_text("# G\n[self](#g)", encoding="utf-8")
+        bad = tmp_path / "bad.md"
+        bad.write_text("[x](missing.md)", encoding="utf-8")
+
+        assert main([str(good)]) == EXIT_CLEAN
+        assert main([str(bad)]) == EXIT_BROKEN
+        assert "missing.md" in capsys.readouterr().out
+        assert main([]) == EXIT_ERROR
+        assert main([str(tmp_path / "ghost.md")]) == EXIT_ERROR
+
+    def test_directory_walk_sorted(self, tmp_path):
+        (tmp_path / "b.md").write_text("[x](a.md)", encoding="utf-8")
+        (tmp_path / "a.md").write_text("[x](nope.md)", encoding="utf-8")
+        broken, checked = check_paths([tmp_path], root=tmp_path)
+        assert checked == 2
+        assert [b.path for b in broken] == [str(tmp_path / "a.md")]
+
+
+def test_repo_docs_have_no_broken_links():
+    paths = [REPO_ROOT / "README.md", REPO_ROOT / "docs",
+             REPO_ROOT / "EXPERIMENTS.md"]
+    broken, checked = check_paths(
+        [p for p in paths if p.exists()], root=REPO_ROOT
+    )
+    assert checked >= 3
+    assert broken == [], "\n".join(b.render() for b in broken)

@@ -60,6 +60,7 @@ FIXTURE_FILES = [
     "sim005.py",
     "sim006.py",
     "analysis/sim007.py",
+    "engine/sim008.py",
 ]
 
 
