@@ -63,3 +63,8 @@ class SidebandNetwork:
     @property
     def in_flight(self) -> int:
         return len(self._channel)
+
+    @property
+    def next_deadline(self) -> int | None:
+        """Delivery cycle of the oldest in-flight message, or None."""
+        return self._channel.next_deadline

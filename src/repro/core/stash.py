@@ -68,9 +68,12 @@ class StashPartition:
         "port",
         "capacity",
         "_committed",
+        "_stored_pages",
         "_entries",
         "_fifo",
         "_next_location",
+        "_dir",
+        "_dir_col",
         "stored_total",
         "deleted_total",
         "retrieved_total",
@@ -83,9 +86,16 @@ class StashPartition:
         self.port = port
         self.capacity = (capacity_flits // PAGE_FLITS) * PAGE_FLITS
         self._committed = 0
+        # pages of committed space actually holding stored packets; the
+        # gap to _committed is space reserved for packets still in flight
+        self._stored_pages = 0
         self._entries: dict[int, Packet] = {}
         self._fifo: deque[Packet] = deque()
         self._next_location = 0
+        # owning directory and column (set by StashDirectory) so commits
+        # and releases maintain the per-column free-space totals in O(1)
+        self._dir: "StashDirectory | None" = None
+        self._dir_col = -1
         self.stored_total = 0
         self.deleted_total = 0
         self.retrieved_total = 0
@@ -116,6 +126,8 @@ class StashPartition:
                 f"{pages} > {self.free_flits()}"
             )
         self._committed += pages
+        if self._dir is not None:
+            self._dir.col_free[self._dir_col] -= pages
         self.peak_committed = max(self.peak_committed, self._committed)
 
     def _release(self, flits: int) -> None:
@@ -123,6 +135,22 @@ class StashPartition:
         if pages > self._committed:
             raise RuntimeError("stash release exceeds committed space")
         self._committed -= pages
+        if self._dir is not None:
+            self._dir.col_free[self._dir_col] += pages
+
+    def _check_store(self, flits: int) -> int:
+        """Validate that a packet landing in the partition fits inside
+        space previously reserved via :meth:`commit` (a store without a
+        matching commit would let stored packets exceed the two-bank
+        memory's real capacity).  Returns the packet's page footprint."""
+        pages = _pages(flits)
+        if self._stored_pages + pages > self._committed:
+            raise RuntimeError(
+                f"store of {pages} pages on port {self.port} without a "
+                f"matching commit: {self._stored_pages} stored of "
+                f"{self._committed} committed"
+            )
+        return pages
 
     def occupancy_fraction(self) -> float:
         return self._committed / self.capacity if self.capacity else 0.0
@@ -132,6 +160,7 @@ class StashPartition:
     def store(self, packet: Packet) -> int:
         """Record a fully arrived packet; space must already be committed.
         Returns the location index reported in the location message."""
+        self._stored_pages += self._check_store(packet.size)
         location = self._next_location
         self._next_location += 1
         self._entries[location] = packet
@@ -140,6 +169,7 @@ class StashPartition:
 
     def delete(self, location: int) -> None:
         packet = self._entries.pop(location)
+        self._stored_pages -= _pages(packet.size)
         self._release(packet.size)
         self.deleted_total += 1
 
@@ -149,6 +179,7 @@ class StashPartition:
         R-VC datapath); we release immediately since the read-out buffer
         space is accounted by the R VC buffers downstream."""
         packet = self._entries.pop(location)
+        self._stored_pages -= _pages(packet.size)
         self._release(packet.size)
         self.retrieved_total += 1
         return packet
@@ -161,6 +192,7 @@ class StashPartition:
     def push_fifo(self, packet: Packet) -> None:
         """Queue a fully arrived congestion-stashed packet for retrieval;
         space must already be committed."""
+        self._stored_pages += self._check_store(packet.size)
         self._fifo.append(packet)
         self.stored_total += 1
 
@@ -169,6 +201,7 @@ class StashPartition:
 
     def pop_fifo(self) -> Packet:
         packet = self._fifo.popleft()
+        self._stored_pages -= _pages(packet.size)
         self._release(packet.size)
         self.retrieved_total += 1
         return packet
@@ -202,13 +235,24 @@ class StashDirectory:
             ]
             for c in range(cols)
         ]
+        # running free-flit total per column, maintained by the member
+        # partitions on commit/release (the JSQ column choice reads this
+        # every head flit, so it must not be a sum over partitions)
+        self.col_free: list[int] = [
+            sum(partitions[p].free_flits() for p in ports)
+            for ports in self._ports_by_col
+        ]
+        for c, ports in enumerate(self._ports_by_col):
+            for p in ports:
+                partitions[p]._dir = self
+                partitions[p]._dir_col = c
 
     def ports_in_column(self, col: int) -> list[int]:
         """Stash-capable ports reachable through column ``col``."""
         return self._ports_by_col[col]
 
     def column_free_flits(self, col: int) -> int:
-        return sum(self.partitions[p].free_flits() for p in self._ports_by_col[col])
+        return self.col_free[col]
 
     def total_capacity(self) -> int:
         return sum(p.capacity for p in self.partitions)

@@ -1,0 +1,222 @@
+"""Perf-trajectory benchmark artifact (``BENCH_<pr>.json``).
+
+Each growth PR that touches the cycle kernel's hot path records where
+the simulator's throughput stands: one JSON artifact with per-figure
+wall-clock and simulated cycles per second on the ``tiny`` preset.  The
+artifact is checked in at the repo root and CI regenerates it on every
+push, failing when throughput regresses by more than the tolerance
+against the checked-in baseline.
+
+Wall-clock on two different hosts is not comparable, so every artifact
+also embeds a *calibration*: the wall time of a fixed pure-Python busy
+loop measured in the same process.  Comparisons normalise cycles/sec by
+that calibration (``cps * calibration_seconds`` is a dimensionless
+host-independent throughput score), which keeps the CI gate meaningful
+on runners slower or faster than the machine that produced the
+baseline.
+
+Usage::
+
+    python -m repro.devtools.bench_trajectory --out BENCH_6.json
+    python -m repro.devtools.bench_trajectory --compare BENCH_6.json
+    python -m repro.devtools.bench_trajectory --out BENCH_6.json \
+        --compare BENCH_6.json --tolerance 0.2
+
+Schema (``repro-bench/1``) — see ``docs/PERFORMANCE.md``::
+
+    {
+      "schema": "repro-bench/1",
+      "preset": "tiny",
+      "kernel": "event",
+      "python": "3.12.3",
+      "calibration_seconds": 0.93,
+      "figures": {
+        "fig5": {"wall_seconds": 41.2, "cycles": 123456,
+                 "cycles_per_second": 2996.5, "points": 4},
+        ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import replace
+from typing import Any, Callable
+
+from repro.engine.parallel import RunSpec, run_specs
+from repro.experiments.common import preset_by_name, quicken
+
+__all__ = ["emit", "compare", "main"]
+
+SCHEMA = "repro-bench/1"
+
+#: iterations of the calibration busy loop (about a second on a
+#: 2 GHz core under CPython 3.12)
+_CALIBRATION_ITERS = 10_000_000
+
+
+def _calibrate() -> float:
+    """Wall time of a fixed pure-Python loop, for host normalisation."""
+    t0 = time.perf_counter()
+    x = 0
+    for i in range(_CALIBRATION_ITERS):
+        x += i
+    assert x  # keep the loop observable
+    return time.perf_counter() - t0
+
+
+def _fig5_specs(base) -> list[RunSpec]:
+    from repro.experiments.fig5 import fig5_specs
+
+    return fig5_specs(base, loads=(0.2, 0.5),
+                      variants=("baseline", "stash100"))
+
+
+def _fig7_specs(base) -> list[RunSpec]:
+    from repro.experiments.fig7 import run_fig7
+
+    def point(seed: int = 1):
+        from repro.engine.parallel import Timed
+
+        results = run_fig7(base, variants=("baseline",),
+                           include_reference=False, seed=seed)
+        # run_fig7 drives its own networks; cycle count is the series
+        # span, which tracks total simulated cycles closely enough for a
+        # throughput trend line
+        total = int(max(r.time[-1] for r in results.values() if len(r.time)))
+        return Timed(None, total)
+
+    return [RunSpec(key=("fig7", "baseline"), fn=point, seed=1)]
+
+
+def _fig9_specs(base) -> list[RunSpec]:
+    from repro.experiments.fig9 import fig9_specs
+
+    return fig9_specs(base, bursts_pkts=(1, 8),
+                      variants=("baseline", "stash100"))
+
+
+_FIGURES: dict[str, Callable[[Any], list[RunSpec]]] = {
+    "fig5": _fig5_specs,
+    "fig7": _fig7_specs,
+    "fig9": _fig9_specs,
+}
+
+
+def emit(kernel: str | None = None,
+         figures: tuple[str, ...] | None = None) -> dict:
+    """Run the benchmark slice and return the artifact dict."""
+    base = quicken(preset_by_name("tiny"), 0.5)
+    if kernel is not None:
+        base = base.with_(sim=replace(base.sim, kernel=kernel))
+    artifact: dict[str, Any] = {
+        "schema": SCHEMA,
+        "preset": "tiny",
+        "kernel": base.sim.kernel,
+        "python": platform.python_version(),
+        "calibration_seconds": round(_calibrate(), 4),
+        "figures": {},
+    }
+    for name in figures or tuple(_FIGURES):
+        specs = _FIGURES[name](base)
+        outcomes = run_specs(specs)
+        wall = sum(o.wall_seconds for o in outcomes)
+        cycles = sum(o.cycles or 0 for o in outcomes)
+        artifact["figures"][name] = {
+            "wall_seconds": round(wall, 2),
+            "cycles": cycles,
+            "cycles_per_second": round(cycles / wall, 1) if wall else 0.0,
+            "points": len(outcomes),
+        }
+        print(f"[bench] {name}: {wall:.1f}s, {cycles} cycles "
+              f"({cycles / wall if wall else 0:.0f} cyc/s)",
+              file=sys.stderr)
+    return artifact
+
+
+def _score(artifact: dict, figure: str) -> float:
+    """Host-normalised throughput score (bigger is faster)."""
+    fig = artifact["figures"][figure]
+    return fig["cycles_per_second"] * artifact["calibration_seconds"]
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Regression messages (empty when throughput is within tolerance)."""
+    problems: list[str] = []
+    for name, fig in baseline["figures"].items():
+        if name not in current["figures"]:
+            # a --figures subset run; only measured figures are gated
+            print(f"[bench] {name}: not measured, skipping", file=sys.stderr)
+            continue
+        base_score = _score(baseline, name)
+        cur_score = _score(current, name)
+        if base_score <= 0:
+            continue
+        ratio = cur_score / base_score
+        status = "ok" if ratio >= 1.0 - tolerance else "REGRESSION"
+        print(f"[bench] {name}: normalised throughput ratio "
+              f"{ratio:.2f}x vs baseline ({status})", file=sys.stderr)
+        if ratio < 1.0 - tolerance:
+            problems.append(
+                f"{name}: normalised cycles/sec fell to {ratio:.2f}x of "
+                f"the checked-in baseline (tolerance {1.0 - tolerance:.2f}x); "
+                f"baseline {fig['cycles_per_second']} cyc/s * "
+                f"{baseline['calibration_seconds']}s cal, current "
+                f"{current['figures'][name]['cycles_per_second']} cyc/s * "
+                f"{current['calibration_seconds']}s cal"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.bench_trajectory",
+        description="Emit and/or compare the perf-trajectory artifact.",
+    )
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the artifact JSON to FILE")
+    parser.add_argument("--compare", metavar="BASELINE", default=None,
+                        help="compare a fresh run against BASELINE json; "
+                        "exit 1 on regression beyond --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional throughput drop "
+                        "(default: 0.2 = fail below 0.8x baseline)")
+    parser.add_argument("--kernel", default=None,
+                        choices=("polling", "event"),
+                        help="cycle kernel to benchmark (default: preset's)")
+    parser.add_argument("--figures", default=None,
+                        help="comma-separated subset of "
+                        + ",".join(_FIGURES))
+    args = parser.parse_args(argv)
+    if args.out is None and args.compare is None:
+        parser.error("nothing to do: pass --out and/or --compare")
+    figures = tuple(args.figures.split(",")) if args.figures else None
+    if figures:
+        unknown = set(figures) - set(_FIGURES)
+        if unknown:
+            parser.error(f"unknown figures: {sorted(unknown)}")
+
+    artifact = emit(kernel=args.kernel, figures=figures)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[bench] wrote {args.out}", file=sys.stderr)
+    if args.compare:
+        with open(args.compare, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        problems = compare(baseline, artifact, args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"[bench] {problem}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

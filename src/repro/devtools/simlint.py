@@ -149,6 +149,8 @@ RNG_HOME_STEMS = frozenset({"rng"})
 WALL_CLOCK_WHITELIST: dict[str, frozenset[str]] = {
     "runner": frozenset({"perf_counter"}),
     "parallel": frozenset({"perf_counter"}),
+    # the perf-trajectory benchmark exists to measure wall-clock
+    "bench_trajectory": frozenset({"perf_counter"}),
 }
 
 #: attribute names treated as wall-clock reads on the ``time`` module

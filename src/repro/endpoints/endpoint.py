@@ -37,6 +37,35 @@ ACK_INJECT_VC = 1
 
 
 class Endpoint:
+    __slots__ = (
+        "node",
+        "net",
+        "rng",
+        "flit_out",
+        "credit_in",
+        "flit_in",
+        "mirror",
+        "obs",
+        "send_queues",
+        "_rr_dsts",
+        "_rr_members",
+        "ack_queue",
+        "_streams",
+        "_inject_rr",
+        "ecn",
+        "reorder",
+        "acks_enabled",
+        "_pending_acks",
+        "sources",
+        "flits_generated",
+        "flits_injected",
+        "flits_ejected",
+        "packets_delivered",
+        "packets_corrupted",
+        "packets_reorder_dropped",
+        "messages_posted",
+    )
+
     def __init__(
         self,
         node: int,
@@ -136,6 +165,9 @@ class Endpoint:
         msg.packets_total = seq
         self.flits_generated += size_flits
         net.on_generated(size_flits)
+        # external posters (trace replay, tests) may target a sleeping
+        # endpoint; self-posts during our own step no-op in the wake list
+        net.sim.wake_component(self, cycle)
         return msg
 
     @property
@@ -159,22 +191,67 @@ class Endpoint:
         self.ecn.tick(cycle)
         self._inject(cycle)
 
+    def next_active_cycle(self, cycle: int) -> int | None:
+        """Wake-list contract (docs/PERFORMANCE.md): the next cycle our
+        ``step`` could do anything, or None to sleep until an external
+        wake.  Any queued work, a non-empty round-robin ring (its lazy
+        stale-entry cleanup mutates arbitration order), or an ECN window
+        in recovery (its tick is clocked on absolute cycles) keeps the
+        endpoint stepping every cycle; otherwise the earliest of the
+        sources' own schedules and the input channels' delivery
+        deadlines bounds the sleep."""
+        if (
+            self._streams
+            or self.ack_queue
+            or self._rr_dsts
+            or self.ecn.recovering
+        ):
+            return cycle + 1
+        wake: int | None = None
+        for source in self.sources:
+            nac = getattr(source, "next_active_cycle", None)
+            if nac is None:
+                return cycle + 1  # unknown source: never skip it
+            when = nac(cycle)
+            if when is not None:
+                if when <= cycle + 1:
+                    return cycle + 1
+                if wake is None or when < wake:
+                    wake = when
+        for ch in (self.flit_in, self.credit_in):
+            if ch is not None:
+                due = ch.next_deadline
+                if due is not None:
+                    if due <= cycle + 1:
+                        return cycle + 1
+                    if wake is None or due < wake:
+                        wake = due
+        return wake
+
     # -- receive side ----------------------------------------------------
 
     def _receive(self, cycle: int) -> None:
-        if (
-            self.credit_in is not None
-            and self.mirror is not None
-            and not self.credit_in.empty
-        ):
-            for vc, n in self.credit_in.recv_ready(cycle):
-                self.mirror.credit(vc, n)
-        if self.flit_in is None or self.flit_in.empty:
+        ch = self.credit_in
+        if ch is not None and self.mirror is not None:
+            q = ch._queue
+            if q and q[0][0] <= cycle:
+                release = self.mirror.space.release
+                while q and q[0][0] <= cycle:
+                    vc, n = q.popleft()[1]
+                    release(vc, n)
+        ch = self.flit_in
+        if ch is None:
             return
-        for _vc, flit in self.flit_in.recv_ready(cycle):
-            self.flits_ejected += 1
+        q = ch._queue
+        if not q or q[0][0] > cycle:
+            return
+        n_ejected = 0
+        while q and q[0][0] <= cycle:
+            _vc, flit = q.popleft()[1]
+            n_ejected += 1
             if flit.tail:
                 self._deliver(flit.pkt, cycle)
+        self.flits_ejected += n_ejected
 
     def _deliver(self, pkt: Packet, cycle: int) -> None:
         net = self.net
@@ -247,17 +324,35 @@ class Endpoint:
         if not streams:
             return
         assert self.mirror is not None
+        # single-flit credit check, inlined from the mirror's accounting
+        space = self.mirror.space
+        committed = space.committed
+        reserves = space.reserves
+        shared_free = space._shared_used < space.shared_capacity
         eligible = [
-            vc for vc in streams if self.mirror.can_send_flit(vc)
+            vc for vc in streams
+            if shared_free or committed[vc] < reserves[vc]
         ]
         if not eligible:
             return
         # round-robin the channel between the active VC streams
-        vc = min(eligible, key=lambda v: (v - self._inject_rr) % 8)
+        if len(eligible) == 1:
+            vc = eligible[0]
+        else:
+            rr = self._inject_rr
+            vc = min(eligible, key=lambda v: (v - rr) % 8)
         self._inject_rr = (vc + 1) % 8
         stream = streams[vc]
         pkt, idx = stream
-        self.mirror.debit_flit(vc)
+        # inline debit_flit(vc): the credit check above guarantees space
+        occ = committed[vc]
+        committed[vc] = occ + 1
+        if occ >= reserves[vc]:
+            space._shared_used += 1
+        total = space._total + 1
+        space._total = total
+        if total > space.peak_committed:
+            space.peak_committed = total
         flit = pkt.flits[idx]
         self.flit_out.send((vc, flit), cycle)
         self.flits_injected += 1

@@ -6,6 +6,11 @@ at cycle *t* become visible to ``recv_ready()`` at cycle ``t + latency``.
 Bandwidth is enforced by the senders (one flit per cycle per link); the
 channel itself is a pure delay line.
 
+A channel may be bound to the simulator's wake list
+(:meth:`Channel.bind_wake`): every send then wakes the consuming
+component at the delivery cycle, which is what lets the event kernel put
+idle consumers to sleep without missing arrivals.
+
 :class:`CreditChannel` is the same delay line specialised for credits, which
 travel opposite to flits on the paired reverse wire.
 """
@@ -13,7 +18,10 @@ travel opposite to flits on the paired reverse wire.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Generic, TypeVar
+from typing import TYPE_CHECKING, Any, Generic, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.simulator import Simulator
 
 T = TypeVar("T")
 
@@ -23,7 +31,7 @@ __all__ = ["Channel", "CreditChannel"]
 class Channel(Generic[T]):
     """Constant-latency FIFO delay line."""
 
-    __slots__ = ("latency", "name", "_queue")
+    __slots__ = ("latency", "name", "_queue", "_wake_sim", "_wake_idx")
 
     def __init__(self, latency: int, name: str = "") -> None:
         if latency < 1:
@@ -31,14 +39,36 @@ class Channel(Generic[T]):
         self.latency = latency
         self.name = name
         self._queue: deque[tuple[int, T]] = deque()
+        self._wake_sim: "Simulator | None" = None
+        self._wake_idx = -1
+
+    def bind_wake(self, sim: "Simulator", idx: int) -> None:
+        """Wake simulator component ``idx`` whenever a send arrives."""
+        self._wake_sim = sim
+        self._wake_idx = idx
 
     def send(self, item: T, cycle: int) -> None:
         """Enqueue ``item`` for delivery at ``cycle + latency``.
 
         Sends must be issued with non-decreasing cycles (the simulator's
-        cycle loop guarantees this); FIFO order then equals delivery order.
+        cycle loop guarantees this); FIFO order then equals delivery
+        order.  An out-of-order send raises: it would silently corrupt
+        delivery order and the event kernel's next-arrival deadline.
         """
-        self._queue.append((cycle + self.latency, item))
+        q = self._queue
+        deliver = cycle + self.latency
+        if q and deliver < q[-1][0]:
+            raise ValueError(
+                f"out-of-order send on {self.name or 'channel'}: cycle "
+                f"{cycle} is below the queue tail's {q[-1][0] - self.latency}"
+            )
+        q.append((deliver, item))
+        sim = self._wake_sim
+        # wake() no-ops unless the consumer sleeps past the delivery
+        # cycle; checking its status here skips the call on the hot path
+        # (deliver > sim.cycle always holds, so no clamping is needed)
+        if sim is not None and sim._status[self._wake_idx] > deliver:
+            sim.wake(self._wake_idx, deliver)
 
     def recv_ready(self, cycle: int) -> list[T]:
         """Every item whose delivery time has arrived, drained eagerly.
@@ -61,6 +91,12 @@ class Channel(Generic[T]):
         if self._queue and self._queue[0][0] <= cycle:
             return self._queue[0][1]
         return None
+
+    @property
+    def next_deadline(self) -> int | None:
+        """Delivery cycle of the oldest in-flight item, or None."""
+        q = self._queue
+        return q[0][0] if q else None
 
     def __len__(self) -> int:
         return len(self._queue)

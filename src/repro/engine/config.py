@@ -306,19 +306,29 @@ class DragonflyParams:
 
 @dataclass(frozen=True)
 class SimParams:
-    """Run control: phases, sampling, and seeding."""
+    """Run control: phases, sampling, seeding, and the cycle kernel.
+
+    ``kernel`` selects the cycle loop: ``"event"`` (default) skips
+    quiescent components and idle cycles via the simulator's wake list;
+    ``"polling"`` steps everything every cycle.  The two are
+    byte-identical (see docs/PERFORMANCE.md); polling is the escape
+    hatch / reference.
+    """
 
     seed: int = 1
     warmup_cycles: int = 2000
     measure_cycles: int = 10000
     drain_cycles: int = 20000
     sample_period: int = 100
+    kernel: str = "event"
 
     def __post_init__(self) -> None:
         if min(self.warmup_cycles, self.measure_cycles, self.sample_period) < 0:
             raise ValueError("cycle counts must be non-negative")
         if self.sample_period < 1:
             raise ValueError("sample_period must be >= 1")
+        if self.kernel not in ("polling", "event"):
+            raise ValueError("kernel must be 'polling' or 'event'")
 
 
 @dataclass(frozen=True)

@@ -191,12 +191,27 @@ class Histogram:
         self.lo = lo
         self.hi = hi
         self.counts = np.zeros(num_bins, dtype=np.int64)
+        self.nan_samples = 0
 
     def record(self, value: float) -> None:
-        """Count ``value`` in its bin (clamped to the bounds)."""
+        """Count ``value`` in its bin (clamped to the bounds).
+
+        NaN has no bin: ``int(nan)`` would raise mid-run, so NaN samples
+        are dropped and tallied in :attr:`nan_samples` instead.
+        Infinities clamp to the edge bins like any other out-of-range
+        value (the clamp runs before the int conversion, which would
+        otherwise overflow on them).
+        """
+        if math.isnan(value):
+            self.nan_samples += 1
+            return
         frac = (value - self.lo) / (self.hi - self.lo)
-        idx = int(frac * len(self.counts))
-        idx = max(0, min(len(self.counts) - 1, idx))
+        if frac < 0.0:
+            idx = 0
+        elif frac >= 1.0:
+            idx = len(self.counts) - 1
+        else:
+            idx = int(frac * len(self.counts))
         self.counts[idx] += 1
 
     @property

@@ -171,6 +171,13 @@ def main(argv: list[str] | None = None) -> int:
         "results are bit-identical for any N)",
     )
     parser.add_argument(
+        "--kernel",
+        default=None,
+        choices=("polling", "event"),
+        help="cycle-loop kernel (default: the preset's, normally "
+        "'event'; results are bit-identical for either)",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="collect repro.obs counters and print the merged snapshot "
@@ -194,6 +201,10 @@ def main(argv: list[str] | None = None) -> int:
         from dataclasses import replace
 
         base = base.with_(sim=replace(base.sim, seed=args.seed))
+    if args.kernel is not None:
+        from dataclasses import replace
+
+        base = base.with_(sim=replace(base.sim, kernel=args.kernel))
 
     obs_on = args.metrics or args.trace is not None
     if obs_on:

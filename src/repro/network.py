@@ -99,7 +99,7 @@ class Network:
         self._next_msg = 0
         self.messages: dict[int, Message] = {}
 
-        self.sim = Simulator()
+        self.sim = Simulator(kernel=config.sim.kernel)
         self.switches = self._build_switches()
         self.endpoints = [
             Endpoint(n, self, self.rng.stream(f"endpoint:{n}"))
@@ -110,6 +110,7 @@ class Network:
             self.sim.add(ep)
         for sw in self.switches:
             self.sim.add(sw)
+        self._bind_wakes()
 
         # statistics
         self.latency = LatencyStats()
@@ -234,6 +235,28 @@ class Network:
                     link, self.rng.stream(f"link:{sx}.{px}")
                 )
                 inp.link_rx = LinkReceiver(link)
+
+    def _bind_wakes(self) -> None:
+        """Register every channel's consumer with the simulator wake
+        list: each send then schedules the consumer for the delivery
+        cycle, which is what lets the event kernel put idle components
+        to sleep without missing arrivals (docs/PERFORMANCE.md)."""
+        sim = self.sim
+        for ep in self.endpoints:
+            idx = sim.index_of(ep)
+            assert idx is not None
+            for ch in (ep.flit_in, ep.credit_in):
+                if ch is not None:
+                    ch.bind_wake(sim, idx)
+        for sw in self.switches:
+            idx = sim.index_of(sw)
+            assert idx is not None
+            for ip in sw.in_ports:
+                if ip.flit_in is not None:
+                    ip.flit_in.bind_wake(sim, idx)
+            for op in sw.out_ports:
+                if op.credit_in is not None:
+                    op.credit_in.bind_wake(sim, idx)
 
     # ------------------------------------------------------------------
     # allocation and delivery callbacks

@@ -102,5 +102,12 @@ class EcnWindows:
             self._recovering.discard(dst)
 
     @property
+    def recovering(self) -> bool:
+        """True while any window is in additive recovery.  Recovery is
+        clocked on absolute cycle numbers, so the owning endpoint must
+        keep ticking every cycle while this holds (wake-list contract)."""
+        return bool(self._recovering)
+
+    @property
     def throttled_destinations(self) -> int:
         return len(self._recovering)

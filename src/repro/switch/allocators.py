@@ -37,24 +37,55 @@ class SeparableOutputFirstAllocator:
         if not requests:
             return []
         num_vcs = self.num_vcs
+        if len(requests) == 1:
+            # lone request: both stages grant it unopposed; advance the
+            # two arbiters exactly as their pick() calls would have
+            inp, vc, out = requests[0]
+            out_arb = self._out_arbiters[out]
+            out_arb._next = (inp * num_vcs + vc + 1) % out_arb.n
+            in_arb = self._in_arbiters[inp]
+            in_arb._next = (out + 1) % in_arb.n
+            return requests
+        if len(requests) == 2:
+            r1, r2 = requests
+            if r1[0] != r2[0] and r1[2] != r2[2]:
+                # two requests with distinct inputs and outputs never
+                # conflict: each stage grants both, same as pick() would
+                for inp, vc, out in requests:
+                    out_arb = self._out_arbiters[out]
+                    out_arb._next = (inp * num_vcs + vc + 1) % out_arb.n
+                    in_arb = self._in_arbiters[inp]
+                    in_arb._next = (out + 1) % in_arb.n
+                return requests
 
-        by_output: dict[int, list[tuple[int, int]]] = {}
+        # Stage 1: each output grants one (input, vc) — the requester at
+        # the smallest cyclic distance from the arbiter's rotating
+        # pointer (the inlined equivalent of RoundRobinArbiter.pick;
+        # distances are distinct so first-minimum tie-breaking matches).
+        out_arbiters = self._out_arbiters
+        in_arbiters = self._in_arbiters
+        stage1: dict[int, tuple[int, int, int]] = {}  # out -> (dist, inp, vc)
         for inp, vc, out in requests:
-            by_output.setdefault(out, []).append((inp, vc))
+            arb = out_arbiters[out]
+            d = (inp * num_vcs + vc - arb._next) % arb.n
+            cur = stage1.get(out)
+            if cur is None or d < cur[0]:
+                stage1[out] = (d, inp, vc)
 
-        # Stage 1: each output grants one (input, vc).
-        grants_by_input: dict[int, list[tuple[int, int]]] = {}
-        for out, cands in by_output.items():
-            slots = [inp * num_vcs + vc for inp, vc in cands]
-            winner_slot = self._out_arbiters[out].pick(slots)
-            winner_inp, winner_vc = divmod(winner_slot, num_vcs)
-            grants_by_input.setdefault(winner_inp, []).append((out, winner_vc))
+        # Stage 2: each input accepts one grant, same rotating-pick rule.
+        stage2: dict[int, tuple[int, int, int]] = {}  # inp -> (dist, vc, out)
+        for out, (_d, inp, vc) in stage1.items():
+            arb = out_arbiters[out]
+            arb._next = (inp * num_vcs + vc + 1) % arb.n
+            in_arb = in_arbiters[inp]
+            d = (out - in_arb._next) % in_arb.n
+            cur = stage2.get(inp)
+            if cur is None or d < cur[0]:
+                stage2[inp] = (d, vc, out)
 
-        # Stage 2: each input accepts one grant.
         accepted: list[tuple[int, int, int]] = []
-        for inp, grants in grants_by_input.items():
-            outs = [out for out, _vc in grants]
-            winner_out = self._in_arbiters[inp].pick(outs)
-            winner_vc = next(vc for out, vc in grants if out == winner_out)
-            accepted.append((inp, winner_vc, winner_out))
+        for inp, (_d, vc, out) in stage2.items():
+            in_arb = in_arbiters[inp]
+            in_arb._next = (out + 1) % in_arb.n
+            accepted.append((inp, vc, out))
         return accepted

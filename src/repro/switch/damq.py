@@ -99,20 +99,23 @@ class VcSpaceAccounting:
 
     def admit(self, vc: int, flits: int) -> None:
         """Commit ``flits`` flits to VC ``vc`` (reserve first, then pool)."""
-        if not self.can_admit(vc, flits):
-            raise RuntimeError(
-                f"admit({vc}, {flits}) without space: occ={self.committed[vc]}, "
-                f"shared={self._shared_used}/{self.shared_capacity}"
-            )
         occ = self.committed[vc]
         reserve = self.reserves[vc]
         new_occ = occ + flits
         over_new = new_occ - reserve
         over_old = occ - reserve
-        self.committed[vc] = new_occ
-        self._shared_used += (over_new if over_new > 0 else 0) - (
+        # the shared-pool delta doubles as the admission check (it is
+        # exactly what can_admit() would have required of the pool)
+        shared_need = (over_new if over_new > 0 else 0) - (
             over_old if over_old > 0 else 0
         )
+        if shared_need > self.shared_capacity - self._shared_used:
+            raise RuntimeError(
+                f"admit({vc}, {flits}) without space: occ={occ}, "
+                f"shared={self._shared_used}/{self.shared_capacity}"
+            )
+        self.committed[vc] = new_occ
+        self._shared_used += shared_need
         total = self._total + flits
         self._total = total
         if total > self.peak_committed:
@@ -142,7 +145,7 @@ class Damq:
     caller is responsible for sending the corresponding credit upstream.
     """
 
-    __slots__ = ("space", "queues", "flit_count")
+    __slots__ = ("space", "queues", "flit_count", "occ_mask")
 
     def __init__(
         self, num_vcs: int, capacity: int, reserve: "int | list[int]"
@@ -150,6 +153,9 @@ class Damq:
         self.space = VcSpaceAccounting(num_vcs, capacity, reserve)
         self.queues: list[deque[Flit]] = [deque() for _ in range(num_vcs)]
         self.flit_count = 0  # fast emptiness check for the cycle loop
+        # bit ``v`` set iff ``queues[v]`` is non-empty: the datapath scan
+        # loops iterate set bits instead of every VC FIFO
+        self.occ_mask = 0
 
     @property
     def num_vcs(self) -> int:
@@ -173,6 +179,7 @@ class Damq:
         """File an admitted flit at the tail of its VC FIFO."""
         self.queues[vc].append(flit)
         self.flit_count += 1
+        self.occ_mask |= 1 << vc
 
     def front(self, vc: int) -> Flit | None:
         """The head flit of VC ``vc``, or None when its FIFO is empty."""
@@ -183,7 +190,10 @@ class Damq:
         """Remove VC ``vc``'s head flit and release its space.
 
         The caller owes the upstream sender one credit for it."""
-        flit = self.queues[vc].popleft()
+        q = self.queues[vc]
+        flit = q.popleft()
+        if not q:
+            self.occ_mask &= ~(1 << vc)
         self.flit_count -= 1
         self.space.release(vc, 1)
         return flit
@@ -193,8 +203,12 @@ class Damq:
         buffers, which retain transmitted flits until the link-level
         acknowledgment round trip completes (Section II); the caller
         releases via ``space.release`` when the retention expires."""
+        q = self.queues[vc]
+        flit = q.popleft()
+        if not q:
+            self.occ_mask &= ~(1 << vc)
         self.flit_count -= 1
-        return self.queues[vc].popleft()
+        return flit
 
     def vc_flits(self, vc: int) -> int:
         """Flits currently queued on VC ``vc``."""

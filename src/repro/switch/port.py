@@ -54,6 +54,7 @@ class InputPort:
         "streams",
         "s_owner",
         "rb_arbiter",
+        "_plans",
         "partition",
         "retrieval_queue",
         "retrieval",
@@ -101,6 +102,9 @@ class InputPort:
         self.s_owner: int | None = None
         # one arbitration slot per VC plus one for the retrieval path
         self.rb_arbiter = RoundRobinArbiter(sw.total_vcs + 1)
+        # scratch plan-per-VC buffer reused across rowbus passes (only
+        # entries written in the current pass are ever read back)
+        self._plans: list = [None] * sw.total_vcs
         # the port's stash partition (shared object with the output side)
         self.partition: StashPartition | None = None
         # retransmission clones waiting to re-enter the network
@@ -128,19 +132,49 @@ class InputPort:
 
     def ingress(self, cycle: int) -> None:
         """Drain the link: file arriving flits into the DAMQ."""
-        assert self.flit_in is not None
-        if self.flit_in.empty:
+        ch = self.flit_in
+        if ch is None:
             return
         if self.link_rx is not None:
             self._ingress_link_protocol(cycle)
             return
-        for vc, flit in self.flit_in.recv_ready(cycle):
+        q = ch._queue
+        if not q or q[0][0] > cycle:
+            return
+        damq = self.damq
+        space = damq.space
+        committed = space.committed
+        reserves = space.reserves
+        queues = damq.queues
+        mask = damq.occ_mask
+        n = 0
+        while q and q[0][0] <= cycle:
+            vc, flit = q.popleft()[1]
             if flit.head:
                 flit.pkt.vc = vc
-            self.damq.admit_flit(vc)
-            self.damq.push(vc, flit)
-            self.sw.inflight += 1
-            self.flits_received += 1
+            # inline space.admit(vc, 1), keeping its overflow guard (a
+            # violation here means a credit-accounting bug upstream)
+            occ = committed[vc]
+            if occ >= reserves[vc]:
+                if space._shared_used >= space.shared_capacity:
+                    raise RuntimeError(
+                        f"admit({vc}, 1) without space: occ={occ}, "
+                        f"shared={space._shared_used}/"
+                        f"{space.shared_capacity}"
+                    )
+                space._shared_used += 1
+            committed[vc] = occ + 1
+            total = space._total + 1
+            space._total = total
+            if total > space.peak_committed:
+                space.peak_committed = total
+            queues[vc].append(flit)
+            mask |= 1 << vc
+            n += 1
+        damq.occ_mask = mask
+        damq.flit_count += n
+        self.sw.inflight += n
+        self.flits_received += n
 
     def _ingress_link_protocol(self, cycle: int) -> None:
         """Go-back-N receive path: only clean, in-sequence flits enter
@@ -165,43 +199,75 @@ class InputPort:
 
     def rowbus_pass(self, cycle: int) -> None:
         """One row-bus arbitration: at most one flit (from a VC stream or
-        the retrieval path) advances onto this input's row bus."""
-        if not self.damq.flit_count and self.retrieval is None:
-            if not self.retrieval_queue and (
-                self.partition is None or not self.partition.fifo_depth
-            ):
-                return
+        the retrieval path) advances onto this input's row bus.
+
+        Callers gate on work being present (buffered flits or retrieval
+        state) — see TiledSwitch.step; an ungated call is still safe,
+        merely a slower no-op."""
         sw = self.sw
         total_vcs = sw.total_vcs
         eligible: list[int] = []
-        plans: dict[int, tuple[int, int, int, StashJob | None]] = {}
+        plans = self._plans
 
         congested = False
         if sw.congestion_stash_on:
             congested = self.congested
 
-        for vc in range(total_vcs):
-            q = self.damq.queues[vc]
-            if not q:
-                continue
-            stream = self.streams[vc]
+        queues = self.damq.queues
+        streams = self.streams
+        row_credits = self.row_credits
+        S_VC = sw.S_VC
+        mask = self.damq.occ_mask
+        while mask:  # occupied VCs in ascending order
+            vc = (mask & -mask).bit_length() - 1
+            mask &= mask - 1
+            stream = streams[vc]
             if stream is not None:
-                if self._plan_credits_ok(vc, stream):
+                # inline _plan_credits_ok for the continuing stream
+                kind, col, stash_col, _job = stream
+                if kind == _NORMAL:
+                    ok = row_credits[col][vc] >= 1
+                elif kind == _DUP:
+                    ok = (
+                        row_credits[col][vc] >= 1
+                        and row_credits[stash_col][S_VC] >= 1
+                    )
+                else:  # _DIVERT
+                    ok = row_credits[stash_col][S_VC] >= 1
+                if ok:
                     eligible.append(vc)
                     plans[vc] = stream
                 continue
-            plan = self._plan_head(vc, q[0], congested)
+            plan = self._plan_head(vc, queues[vc][0], congested)
             if plan is not None:
                 eligible.append(vc)
                 plans[vc] = plan
 
-        retr_plan = self._plan_retrieval()
-        if retr_plan is not None:
-            eligible.append(total_vcs)
+        if (
+            self.retrieval is not None
+            or self.retrieval_queue
+            or (self.partition is not None and self.partition._fifo)
+        ):
+            if self._plan_retrieval() is not None:
+                eligible.append(total_vcs)
 
         if not eligible:
             return
-        winner = self.rb_arbiter.pick(eligible)
+        # rotating-priority pick over the eligible slots, inlined
+        arb = self.rb_arbiter
+        if len(eligible) == 1:
+            winner = eligible[0]
+        else:
+            pivot = arb._next
+            n_arb = arb.n
+            winner = eligible[0]
+            best = (winner - pivot) % n_arb
+            for cand in eligible[1:]:
+                d = (cand - pivot) % n_arb
+                if d < best:
+                    best = d
+                    winner = cand
+        arb._next = (winner + 1) % arb.n
         if winner == total_vcs:
             self._advance_retrieval(cycle)
         else:
@@ -238,7 +304,7 @@ class InputPort:
             pkt.next_vc = next_vc
             self.head_route[vc] = (out_port, next_vc)
         out_port, _ = self.head_route[vc]
-        col = out_port // sw.cfg.tile_outputs
+        col = out_port // sw.t_outputs
         size = pkt.size
 
         needs_copy = (
@@ -313,9 +379,22 @@ class InputPort:
     ) -> None:
         sw = self.sw
         kind, col, stash_col, job = plan
-        flit = self.damq.pop(vc)
+        damq = self.damq
+        q = damq.queues[vc]
+        flit = q.popleft()
+        if not q:
+            damq.occ_mask &= ~(1 << vc)
+        damq.flit_count -= 1
+        space = damq.space
+        occ = space.committed[vc]
+        if occ > space.reserves[vc]:
+            space._shared_used -= 1
+        space.committed[vc] = occ - 1
+        space._total -= 1
         pkt = flit.pkt
-        self._return_credit(vc, cycle)
+        credit_out = self.credit_out
+        if credit_out is not None:  # inline _return_credit
+            credit_out.send((vc, 1), cycle)
         self.flits_sent += 1
 
         if flit.head:
@@ -353,7 +432,12 @@ class InputPort:
 
         row_tiles = sw.tiles[self.row]
         if kind == _NORMAL:
-            row_tiles[col].receive(self.slot, vc, flit, None)
+            # inline tile.receive (vc is never the S VC on this path)
+            tile = row_tiles[col]
+            tile.queues[self.slot][vc].append(flit)
+            tile.occ[self.slot] |= 1 << vc
+            tile.flit_count += 1
+            tile.blocked = False
         elif kind == _DUP:
             # multi-drop broadcast: the same wire value is latched by the
             # normal VC buffer and the storage VC buffer simultaneously,
@@ -393,11 +477,11 @@ class InputPort:
                 and self.s_owner is not None
             ):
                 return None
-        elif self.partition is not None and self.partition.fifo_depth:
+        elif self.partition is not None and self.partition._fifo:
             pkt = self.partition.front_fifo()
         else:
             return None
-        col = pkt.intended_out_port // sw.cfg.tile_outputs
+        col = pkt.intended_out_port // sw.t_outputs
         if self.row_credits[col][R_VC] < 1:
             return None
         return True
@@ -416,7 +500,7 @@ class InputPort:
                 if self.obs is not None:
                     self.obs.emit(cycle, "stash.retrieve", sw.switch_id,
                                   self.idx, -1, pkt.pid, pkt.size)
-            col = pkt.intended_out_port // sw.cfg.tile_outputs
+            col = pkt.intended_out_port // sw.t_outputs
             dup_col = -1
             if dup_needed and self.s_owner is None:
                 # a retransmitted packet is a fresh injection and gets a
@@ -481,6 +565,13 @@ class OutputPort:
         "credit_stalls",
         "col_flits",
         "col_flits_s",
+        "col_occ",
+        "_non_s_mask",
+        "_col",
+        "_o_local",
+        "_rows",
+        "_mux_blocked",
+        "_egress_blocked",
     )
 
     def __init__(
@@ -500,6 +591,14 @@ class OutputPort:
         self.col_buffers: list[list[deque[Flit]]] = [
             [deque() for _ in range(sw.total_vcs)] for _ in range(rows)
         ]
+        # per-row VC occupancy bitmasks over col_buffers (bit vc set iff
+        # col_buffers[row][vc] non-empty); the mux scans set bits only
+        self.col_occ = [0] * rows
+        self._non_s_mask = ~(1 << sw.S_VC)
+        # static geometry, cached for the mux/drain hot paths
+        self._col = idx // cfg.tile_outputs
+        self._o_local = idx % cfg.tile_outputs
+        self._rows = rows
         self.col_jobs: list[deque[StashJob]] = [deque() for _ in range(rows)]
         # active stream per (row, vc): destination VC in the output buffer
         self.col_streams: list[list[int | None]] = [
@@ -535,6 +634,11 @@ class OutputPort:
         self.obs: EventTrace | None = None
         self.flits_sent = 0
         self.credit_stalls = 0
+        # quiescence latches (docs/PERFORMANCE.md): True after a scan
+        # proved no flit can advance; cleared by every event that could
+        # unblock the stage, so a skipped pass is a provable no-op
+        self._mux_blocked = False
+        self._egress_blocked = False
 
     # ------------------------------------------------------------------
 
@@ -543,6 +647,8 @@ class OutputPort:
     ) -> None:
         """Latch a flit off this port's column channel from tile ``row``."""
         self.col_buffers[row][vc].append(flit)
+        self.col_occ[row] |= 1 << vc
+        self._mux_blocked = False
         if vc == self.sw.S_VC:
             assert job is not None
             self.col_jobs[row].append(job)
@@ -553,13 +659,24 @@ class OutputPort:
     def apply_credits(self, cycle: int) -> None:
         """Drain the credit channel into the downstream mirror (and the
         link-protocol sender, which rides the same wire)."""
-        if self.credit_in is None or self.mirror is None or self.credit_in.empty:
+        ch = self.credit_in
+        mirror = self.mirror
+        if ch is None or mirror is None:
             return
-        for vc, n in self.credit_in.recv_ready(cycle):
+        q = ch._queue
+        if not q or q[0][0] > cycle:
+            return
+        release = mirror.space.release
+        while q and q[0][0] <= cycle:
+            vc, n = q.popleft()[1]
             if vc == -1:
                 self._apply_link_control(n)
             else:
-                self.mirror.credit(vc, n)
+                release(vc, n)
+        # downstream space (or a link ACK/NACK) arrived: egress may
+        # proceed, and an ACK freeing output space may unblock the mux
+        self._egress_blocked = False
+        self._mux_blocked = False
 
     def _apply_link_control(self, msg: tuple) -> None:
         """ACK/NACK from the downstream link receiver."""
@@ -574,10 +691,17 @@ class OutputPort:
     def release_retained(self, cycle: int) -> None:
         """Free output-buffer space whose implicit-ack retention expired."""
         pending = self.pending_release
-        damq = self.out_damq
+        space = self.out_damq.space
+        committed = space.committed
+        reserves = space.reserves
         while pending and pending[0][0] <= cycle:
             _, vc = pending.popleft()
-            damq.space.release(vc, 1)
+            occ = committed[vc]
+            if occ > reserves[vc]:
+                space._shared_used -= 1
+            committed[vc] = occ - 1
+            space._total -= 1
+        self._mux_blocked = False  # output-buffer space freed
 
     # ------------------------------------------------------------------
     # output multiplexer: R column buffers -> output buffer (1 flit/pass)
@@ -591,57 +715,106 @@ class OutputPort:
             return
         sw = self.sw
         total_vcs = sw.total_vcs
-        S_VC, R_VC = sw.S_VC, sw.R_VC
+        R_VC = sw.R_VC
         eligible: list[int] = []
         dests: dict[int, int] = {}
 
-        for row in range(sw.cfg.rows):
-            buffers = self.col_buffers[row]
-            streams = self.col_streams[row]
-            for vc in range(total_vcs):
-                if vc == S_VC:
-                    continue  # S flits drain into the partition instead
-                q = buffers[vc]
-                if not q:
-                    continue
-                key = row * total_vcs + vc
+        non_s = self._non_s_mask
+        col_occ = self.col_occ
+        col_buffers = self.col_buffers
+        col_streams = self.col_streams
+        # single-flit admission check, inlined from VcSpaceAccounting:
+        # a VC can take one more flit iff its private reserve has room
+        # or the shared pool does
+        space = self.out_damq.space
+        committed = space.committed
+        reserves = space.reserves
+        shared_free = space._shared_used < space.shared_capacity
+        mux_holders = self.mux_lock._holders
+        for row in range(self._rows):
+            # S flits drain into the partition instead, so mask them out
+            mask = col_occ[row] & non_s
+            if not mask:
+                continue
+            buffers = col_buffers[row]
+            streams = col_streams[row]
+            base = row * total_vcs
+            while mask:  # occupied VCs in ascending order
+                vc = (mask & -mask).bit_length() - 1
+                mask &= mask - 1
                 dest = streams[vc]
                 if dest is not None:
-                    if self.out_damq.can_admit(dest):
+                    if shared_free or committed[dest] < reserves[dest]:
+                        key = base + vc
                         eligible.append(key)
                         dests[key] = dest
                     continue
-                flit = q[0]
+                flit = buffers[vc][0]
                 assert flit.head, "stream-less non-head flit at output mux"
                 pkt = flit.pkt
                 # retrieved packets return to their original output VC
                 dest = pkt.final_vc if vc == R_VC else vc
-                if not self.mux_lock.available_to(dest, (row, vc)):
+                holder = mux_holders[dest]
+                if holder is not None and holder != (row, vc):
                     continue
-                if not self.out_damq.can_admit(dest):
+                if not (shared_free or committed[dest] < reserves[dest]):
                     continue
+                key = base + vc
                 eligible.append(key)
                 dests[key] = dest
 
         if not eligible:
+            # nothing can advance until a new flit, output space, or a
+            # holder release arrives; all three clear the latch
+            self._mux_blocked = True
             return
-        key = self.mux_arbiter.pick(eligible)
+        # rotating-priority pick over (row, vc) keys, inlined
+        arb = self.mux_arbiter
+        if len(eligible) == 1:
+            key = eligible[0]
+        else:
+            pivot = arb._next
+            n_arb = arb.n
+            key = eligible[0]
+            best = (key - pivot) % n_arb
+            for k in eligible[1:]:
+                d = (k - pivot) % n_arb
+                if d < best:
+                    best = d
+                    key = k
+        arb._next = (key + 1) % arb.n
         row, vc = divmod(key, total_vcs)
         dest = dests[key]
-        flit = self.col_buffers[row][vc].popleft()
+        q = col_buffers[row][vc]
+        flit = q.popleft()
+        if not q:
+            col_occ[row] &= ~(1 << vc)
         self.col_flits -= 1
         if flit.head:
             self.mux_lock.acquire(dest, (row, vc))
-            self.col_streams[row][vc] = dest
+            col_streams[row][vc] = dest
         if flit.tail:
             self.mux_lock.release(dest, (row, vc))
-            self.col_streams[row][vc] = None
-        self.out_damq.admit_flit(dest)
-        self.out_damq.push(dest, flit)
+            col_streams[row][vc] = None
+        out_damq = self.out_damq
+        # inline admit(dest, 1) + push: eligibility was checked above and
+        # nothing has admitted in between (one winner per pass)
+        occ = committed[dest]
+        committed[dest] = occ + 1
+        if occ >= reserves[dest]:
+            space._shared_used += 1
+        total = space._total + 1
+        space._total = total
+        if total > space.peak_committed:
+            space.peak_committed = total
+        out_damq.queues[dest].append(flit)
+        out_damq.flit_count += 1
+        out_damq.occ_mask |= 1 << dest
+        self._egress_blocked = False  # new flit for the link
         # column-buffer space freed: credit the tile
-        col = self.idx // sw.cfg.tile_outputs
-        o_local = self.idx % sw.cfg.tile_outputs
-        sw.tiles[row][col].col_credits[o_local][vc] += 1
+        tile = sw.tiles[row][self._col]
+        tile.col_credits[self._o_local][vc] += 1
+        tile.blocked = False
 
     # ------------------------------------------------------------------
     # S-VC drain: column buffers -> stash partition (1 flit/pass)
@@ -661,17 +834,20 @@ class OutputPort:
             if not self.col_buffers[row][S_VC]:
                 return
         else:
-            rows = [r for r in range(sw.cfg.rows) if self.col_buffers[r][S_VC]]
+            rows = [r for r in range(self._rows) if self.col_buffers[r][S_VC]]
             if not rows:
                 return
             row = self.sdrain_arbiter.pick(rows)
             self.sdrain_stream = row
-        flit = self.col_buffers[row][S_VC].popleft()
+        q = self.col_buffers[row][S_VC]
+        flit = q.popleft()
+        if not q:
+            self.col_occ[row] &= ~(1 << S_VC)
         self.col_flits_s -= 1
         job = self.col_jobs[row].popleft()
-        col = self.idx // sw.cfg.tile_outputs
-        o_local = self.idx % sw.cfg.tile_outputs
-        sw.tiles[row][col].col_credits[o_local][S_VC] += 1
+        tile = sw.tiles[row][self._col]
+        tile.col_credits[self._o_local][S_VC] += 1
+        tile.blocked = False  # S column-buffer credit returned
         sw.inflight -= 1
         self.stash_staging.append((flit, job))
         if flit.tail:
@@ -719,64 +895,129 @@ class OutputPort:
         sw = self.sw
         eligible: list[int] = []
         link_vcs: dict[int, int] = {}
-        for vc in range(sw.total_vcs):
-            q = damq.queues[vc]
-            if not q:
-                continue
-            stream = self.link_streams[vc]
+        queues = damq.queues
+        link_streams = self.link_streams
+        mirror = self.mirror
+        # single-flit downstream-credit check, inlined from the mirror's
+        # VcSpaceAccounting (see mux_pass); the scan admits nothing, so
+        # the shared-pool headroom is loop-invariant
+        if mirror is None:
+            m_space = None
+            m_committed = m_reserves = None
+            m_shared_free = True
+        else:
+            m_space = mirror.space
+            m_committed = m_space.committed
+            m_reserves = m_space.reserves
+            m_shared_free = m_space._shared_used < m_space.shared_capacity
+        link_holders = self.link_lock._holders
+        is_end_port = self.is_end_port
+        mask = damq.occ_mask
+        while mask:  # occupied VCs in ascending order
+            vc = (mask & -mask).bit_length() - 1
+            mask &= mask - 1
+            stream = link_streams[vc]
             if stream is not None:
-                if self.mirror is None or self.mirror.can_send_flit(stream):
+                if (
+                    m_committed is None
+                    or m_shared_free
+                    or m_committed[stream] < m_reserves[stream]
+                ):
                     eligible.append(vc)
                     link_vcs[vc] = stream
                 continue
-            flit = q[0]
+            flit = queues[vc][0]
             assert flit.head, "stream-less non-head flit at link egress"
             pkt = flit.pkt
             # ejection links carry the current VC; network links carry the
             # VC assigned by this switch's route computation
-            link_vc = vc if self.is_end_port else pkt.next_vc
-            if not self.link_lock.available_to(link_vc, vc):
+            link_vc = vc if is_end_port else pkt.next_vc
+            holder = link_holders[link_vc]
+            if holder is not None and holder != vc:
                 continue
-            if self.mirror is not None and not self.mirror.can_send_flit(
-                link_vc
+            if m_committed is not None and not (
+                m_shared_free or m_committed[link_vc] < m_reserves[link_vc]
             ):
                 continue
             eligible.append(vc)
             link_vcs[vc] = link_vc
         if not eligible:
             # flits are queued but none may advance: out of downstream
-            # credit (or the shared link VC is stream-locked)
+            # credit (or the shared link VC is stream-locked); latch
+            # until a credit, link ACK/NACK, or new flit arrives.  The
+            # stall counter counts *scanned* stall passes only.
+            self._egress_blocked = True
             self.credit_stalls += 1
             if self.obs is not None:
                 self.obs.emit(cycle, "credit.stall", sw.switch_id, self.idx,
                               -1, -1, damq.flit_count)
             return
-        vc = self.link_arbiter.pick(eligible)
+        # rotating-priority pick over the eligible VCs, inlined
+        arb = self.link_arbiter
+        if len(eligible) == 1:
+            vc = eligible[0]
+        else:
+            pivot = arb._next
+            n_arb = arb.n
+            vc = eligible[0]
+            best = (vc - pivot) % n_arb
+            for cand in eligible[1:]:
+                d = (cand - pivot) % n_arb
+                if d < best:
+                    best = d
+                    vc = cand
+        arb._next = (vc + 1) % arb.n
         link_vc = link_vcs[vc]
-        flit = damq.pop_no_release(vc)
+        # inline damq.pop_no_release (space stays committed until the
+        # link-level acknowledgment round trip completes)
+        q = queues[vc]
+        flit = q.popleft()
+        if not q:
+            damq.occ_mask &= ~(1 << vc)
+        damq.flit_count -= 1
         pkt = flit.pkt
-        if self.mirror is not None:
-            self.mirror.debit_flit(link_vc)
+        if m_space is not None:
+            # inline mirror.debit_flit(link_vc): eligibility checked above
+            occ = m_committed[link_vc]
+            m_committed[link_vc] = occ + 1
+            if occ >= m_reserves[link_vc]:
+                m_space._shared_used += 1
+            total = m_space._total + 1
+            m_space._total = total
+            if total > m_space.peak_committed:
+                m_space.peak_committed = total
         if flit.head:
             self.link_lock.acquire(link_vc, vc)
-            self.link_streams[vc] = link_vc
+            link_streams[vc] = link_vc
             if (
-                self.is_end_port
+                is_end_port
                 and pkt.kind == PacketKind.ACK
                 and sw.trackers is not None
             ):
                 sw.observe_ack_egress(self.idx, pkt, cycle)
         if flit.tail:
             self.link_lock.release(link_vc, vc)
-            self.link_streams[vc] = None
+            link_streams[vc] = None
+        ch = self.flit_out
         if self.link_tx is not None:
             # retained until the cumulative link-level ACK
-            self.flit_out.send(self.link_tx.stage_new(vc, link_vc, flit),
-                               cycle)
+            ch.send(self.link_tx.stage_new(vc, link_vc, flit), cycle)
         else:
             # implicit-ack model: space frees one link round trip later
             self.pending_release.append((cycle + self.retention, vc))
-            self.flit_out.send((link_vc, flit), cycle)
+            # inline ch.send((link_vc, flit), cycle)
+            deliver = cycle + ch.latency
+            chq = ch._queue
+            if chq and deliver < chq[-1][0]:
+                raise ValueError(
+                    f"out-of-order send on {ch.name or 'channel'}: cycle "
+                    f"{cycle} is below the queue tail's "
+                    f"{chq[-1][0] - ch.latency}"
+                )
+            chq.append((deliver, (link_vc, flit)))
+            ws = ch._wake_sim
+            if ws is not None and ws._status[ch._wake_idx] > deliver:
+                ws.wake(ch._wake_idx, deliver)
         sw.inflight -= 1
         self.flits_sent += 1
 

@@ -168,11 +168,30 @@ class StashingSwitch(TiledSwitch):
             assert self.sideband is not None
             self.sideband.send(response, cycle)
 
+    def next_active_cycle(self, cycle: int) -> int | None:
+        """Extends the baseline wake-list contract with the paced
+        retransmission queue: a throttled NACK retransmission is clocked
+        off its scheduled ready cycle, not off any channel delivery."""
+        wake = super().next_active_cycle(cycle)
+        if wake is not None and wake <= cycle + 1:
+            return wake
+        paced = self._paced_retransmits
+        if paced:
+            head = paced[0][0]
+            if head <= cycle + 1:
+                return cycle + 1
+            if wake is None or head < wake:
+                wake = head
+        return wake
+
     def _process_sideband(self, cycle: int) -> None:
         assert self.sideband is not None
         paced = self._paced_retransmits
         while paced and paced[0][0] <= cycle:
             self._start_retransmission(paced.popleft()[1], cycle)
+        due = self.sideband.next_deadline
+        if due is None or due > cycle:
+            return
         for msg in self.sideband.deliver_ready(cycle):
             if msg.kind == SidebandKind.LOCATION:
                 response = self.trackers[msg.dest_port].on_location(

@@ -47,6 +47,8 @@ class Tile:
         "allocator",
         "flits_switched",
         "flit_count",
+        "occ",
+        "blocked",
     )
 
     def __init__(self, sw: "TiledSwitch", row: int, col: int) -> None:
@@ -62,6 +64,9 @@ class Tile:
         self.queues: list[list[deque[Flit]]] = [
             [deque() for _ in range(self.num_vcs)] for _ in range(self.num_slots)
         ]
+        # per-slot VC occupancy bitmask (bit vc set iff queues[slot][vc]
+        # non-empty); the crossbar request scan iterates set bits only
+        self.occ = [0] * self.num_slots
         # S-path transit metadata parallel to the S queues (one per slot)
         self.jobs: list[deque[StashJob]] = [deque() for _ in range(self.num_slots)]
         # active packet stream per (slot, vc): target tile output
@@ -79,13 +84,20 @@ class Tile:
         )
         self.flits_switched = 0
         self.flit_count = 0
+        # quiescence latch (docs/PERFORMANCE.md): True after a crossbar
+        # scan proved no buffered flit can advance; cleared by new
+        # flits and column-credit returns, so a skipped pass is a
+        # provable no-op
+        self.blocked = False
 
     # ------------------------------------------------------------------
 
     def receive(self, slot: int, vc: int, flit: Flit, job: StashJob | None) -> None:
         """Latch a flit off the row bus into the (slot, vc) row buffer."""
         self.queues[slot][vc].append(flit)
+        self.occ[slot] |= 1 << vc
         self.flit_count += 1
+        self.blocked = False
         if vc == self.sw.S_VC:
             assert job is not None
             self.jobs[slot].append(job)
@@ -105,20 +117,29 @@ class Tile:
         S_VC, R_VC = sw.S_VC, sw.R_VC
         requests: list[tuple[int, int, int]] = []
         head_targets: dict[tuple[int, int], int] = {}
+        s_deferred = False
 
+        occ = self.occ
+        all_queues = self.queues
+        all_streams = self.streams
+        col_credits = self.col_credits
+        locks = self.locks
+        num_outputs = self.num_outputs
         for slot in range(self.num_slots):
-            slot_queues = self.queues[slot]
-            slot_streams = self.streams[slot]
-            for vc in range(self.num_vcs):
-                q = slot_queues[vc]
-                if not q:
-                    continue
+            mask = occ[slot]
+            if not mask:
+                continue
+            slot_queues = all_queues[slot]
+            slot_streams = all_streams[slot]
+            while mask:  # occupied VCs in ascending order
+                vc = (mask & -mask).bit_length() - 1
+                mask &= mask - 1
                 target = slot_streams[vc]
                 if target is not None:
-                    if self.col_credits[target][vc] >= 1:
+                    if col_credits[target][vc] >= 1:
                         requests.append((slot, vc, target))
                     continue
-                flit = q[0]
+                flit = slot_queues[vc][0]
                 if not flit.head:
                     raise AssertionError(
                         f"non-head flit {flit!r} at stream start in tile "
@@ -127,28 +148,84 @@ class Tile:
                 pkt = flit.pkt
                 if vc == S_VC:
                     out = self._pick_stash_output(slot, pkt.size)
-                elif vc == R_VC:
-                    out = pkt.intended_out_port % self.num_outputs
-                    if not self._head_ok(out, vc, slot, pkt.size):
-                        out = None
+                    if out is None:
+                        # stash picks depend on partition free space,
+                        # which has no unblock hook here: never latch
+                        # blocked while an S head is waiting
+                        s_deferred = True
                 else:
-                    out = pkt.out_port % self.num_outputs
-                    if not self._head_ok(out, vc, slot, pkt.size):
+                    if vc == R_VC:
+                        out = pkt.intended_out_port % num_outputs
+                    else:
+                        out = pkt.out_port % num_outputs
+                    # inline _head_ok
+                    if col_credits[out][vc] < 1 or not locks[
+                        out
+                    ].available_to(vc, slot):
                         out = None
                 if out is not None:
                     requests.append((slot, vc, out))
                     head_targets[(slot, vc)] = out
 
         if not requests:
+            if not s_deferred:
+                self.blocked = True
             return
-        for slot, vc, out in self.allocator.allocate(requests):
-            self._advance(slot, vc, out, is_head=(slot, vc) in head_targets)
-
-    def _head_ok(self, out: int, vc: int, slot: int, size: int) -> bool:
-        return (
-            self.col_credits[out][vc] >= 1
-            and self.locks[out].available_to(vc, slot)
-        )
+        # winners advance: pop the row buffer, manage the stream locks,
+        # and latch directly into the output port's column buffer (the
+        # former _advance/receive_column pair, inlined for the hot loop)
+        out_ports = sw.out_ports
+        in_ports = sw.in_ports
+        jobs = self.jobs
+        row = self.row
+        col = self.col
+        in_base = row * self.num_slots
+        col_base = col * num_outputs
+        n_adv = 0
+        allocator = self.allocator
+        if len(requests) == 1:
+            # lone request: both allocator stages grant it unopposed;
+            # advance the two arbiters exactly as allocate() would have
+            inp_r, vc_r, out_r = requests[0]
+            arb = allocator._out_arbiters[out_r]
+            arb._next = (inp_r * self.num_vcs + vc_r + 1) % arb.n
+            arb = allocator._in_arbiters[inp_r]
+            arb._next = (out_r + 1) % arb.n
+            accepted = requests
+        else:
+            accepted = allocator.allocate(requests)
+        for slot, vc, out in accepted:
+            q = all_queues[slot][vc]
+            flit = q.popleft()
+            if not q:
+                occ[slot] &= ~(1 << vc)
+            job = jobs[slot].popleft() if vc == S_VC else None
+            op = out_ports[col_base + out]
+            if (slot, vc) in head_targets:
+                locks[out].acquire(vc, slot)
+                all_streams[slot][vc] = out
+                if vc == S_VC:
+                    # reserve partition space now so the S column buffer
+                    # can always drain into the partition (feed-forward
+                    # S path)
+                    op.partition.commit(flit.pkt.size)
+            col_credits[out][vc] -= 1
+            if flit.tail:
+                locks[out].release(vc, slot)
+                all_streams[slot][vc] = None
+            op.col_buffers[row][vc].append(flit)
+            op.col_occ[row] |= 1 << vc
+            op._mux_blocked = False
+            if vc == S_VC:
+                op.col_jobs[row].append(job)
+                op.col_flits_s += 1
+            else:
+                op.col_flits += 1
+            # row-buffer space freed: credit the feeding input port
+            in_ports[in_base + slot].row_credits[col][vc] += 1
+            n_adv += 1
+        self.flit_count -= n_adv
+        self.flits_switched += n_adv
 
     def _pick_stash_output(self, slot: int, size: int) -> int | None:
         """Join-shortest-queue within the column: the output port whose
@@ -181,30 +258,3 @@ class Tile:
             return sw.rng.choice(eligible) if eligible else None
         return best
 
-    def _advance(self, slot: int, vc: int, out: int, is_head: bool) -> None:
-        sw = self.sw
-        flit = self.queues[slot][vc].popleft()
-        self.flit_count -= 1
-        pkt = flit.pkt
-        job: StashJob | None = None
-        if vc == sw.S_VC:
-            job = self.jobs[slot].popleft()
-        if is_head:
-            self.locks[out].acquire(vc, slot)
-            self.streams[slot][vc] = out
-            if vc == sw.S_VC:
-                # reserve partition space now so the S column buffer can
-                # always drain into the partition (feed-forward S path)
-                port = self.col * self.num_outputs + out
-                sw.out_ports[port].partition.commit(pkt.size)
-        self.col_credits[out][vc] -= 1
-        if flit.tail:
-            self.locks[out].release(vc, slot)
-            self.streams[slot][vc] = None
-        # column channel: point-to-point into this row's column buffer at
-        # the output port
-        port = self.col * self.num_outputs + out
-        sw.out_ports[port].receive_column(self.row, vc, flit, job)
-        # row-buffer space freed: return credit to the feeding input port
-        sw.in_ports[self.row * self.num_slots + slot].row_credits[self.col][vc] += 1
-        self.flits_switched += 1

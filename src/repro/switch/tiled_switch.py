@@ -39,6 +39,38 @@ __all__ = ["TiledSwitch"]
 class TiledSwitch:
     """Baseline tiled switch; also the shared datapath for stashing."""
 
+    __slots__ = (
+        "switch_id",
+        "cfg",
+        "router",
+        "port_specs",
+        "alloc_pid",
+        "rng",
+        "stash_placement",
+        "num_data_vcs",
+        "S_VC",
+        "R_VC",
+        "total_vcs",
+        "t_outputs",
+        "end_port_set",
+        "ecn_on",
+        "ecn_threshold",
+        "congestion_stash_on",
+        "reliability_on",
+        "stash_dir",
+        "sideband",
+        "trackers",
+        "obs",
+        "inflight",
+        "_speedup_x10k",
+        "in_ports",
+        "out_ports",
+        "tiles",
+        "_active_in",
+        "_active_out",
+        "_flat_tiles",
+    )
+
     def __init__(
         self,
         switch_id: int,
@@ -77,6 +109,7 @@ class TiledSwitch:
         self.S_VC = cfg.num_vcs
         self.R_VC = cfg.num_vcs + 1
         self.total_vcs = cfg.num_vcs + 2
+        self.t_outputs = cfg.tile_outputs
 
         self.end_port_set = {
             s.port for s in port_specs if s.link_class == "endpoint"
@@ -98,7 +131,11 @@ class TiledSwitch:
         self.obs: EventTrace | None = None
 
         self.inflight = 0
-        self._tokens = 0.0
+        # bandwidth-token schedule for the internal speedup, derived from
+        # the absolute cycle number (stateless, so both cycle kernels and
+        # skipped idle cycles agree): passes(c) = floor((c+1)*s) - floor(c*s),
+        # computed in fixed-point to keep the schedule platform-exact
+        self._speedup_x10k = round(cfg.speedup * 10_000)
 
         self.in_ports = [
             InputPort(
@@ -192,33 +229,119 @@ class TiledSwitch:
         """Advance the switch one cycle: egress, ``speedup`` internal
         passes (mux, stash drain, crossbars, row buses), ingress, credit
         application, and side-band processing — downstream-first so every
-        flit moves at most one stage per cycle."""
-        if self._idle():
-            return
-        for op in self._active_out:
-            op.egress(cycle)
+        flit moves at most one stage per cycle.
 
-        self._tokens += self.cfg.speedup
-        passes = int(self._tokens)
-        self._tokens -= passes
-        stashing = self.stash_dir is not None
-        for _ in range(passes):
+        Every stage call is gated on an O(1) emptiness check that proves
+        the call would be a no-op; skipping it is therefore invisible to
+        results (the basis of the event kernel's byte-identity)."""
+        inflight = self.inflight
+        if inflight or self._egress_pending():
             for op in self._active_out:
-                op.mux_pass()
-                if stashing:
-                    op.stash_drain_pass(cycle)
-            for tile in self._flat_tiles:
-                tile.crossbar_pass()
-            for ip in self._active_in:
-                ip.rowbus_pass(cycle)
-
+                if (op.out_damq.flit_count and not op._egress_blocked) or (
+                    op.link_tx is not None and op.link_tx.replay
+                ):
+                    op.egress(cycle)
+        if inflight or self._retrieval_pending():
+            n = self._speedup_x10k
+            passes = (cycle + 1) * n // 10_000 - cycle * n // 10_000
+            stashing = self.stash_dir is not None
+            for _ in range(passes):
+                for op in self._active_out:
+                    if op.col_flits and not op._mux_blocked:
+                        op.mux_pass()
+                    if stashing and op.col_flits_s:
+                        op.stash_drain_pass(cycle)
+                for tile in self._flat_tiles:
+                    if tile.flit_count and not tile.blocked:
+                        tile.crossbar_pass()
+                for ip in self._active_in:
+                    if ip.damq.flit_count or (
+                        ip.retrieval is not None
+                        or ip.retrieval_queue
+                        or (ip.partition is not None and ip.partition._fifo)
+                    ):
+                        ip.rowbus_pass(cycle)
         for ip in self._active_in:
-            ip.ingress(cycle)
+            ch = ip.flit_in
+            if ch is not None:
+                q = ch._queue
+                if q and q[0][0] <= cycle:
+                    ip.ingress(cycle)
         for op in self._active_out:
-            op.apply_credits(cycle)
-            op.release_retained(cycle)
+            ch = op.credit_in
+            if ch is not None:
+                q = ch._queue
+                if q and q[0][0] <= cycle:
+                    op.apply_credits(cycle)
+            pending = op.pending_release
+            if pending and pending[0][0] <= cycle:
+                op.release_retained(cycle)
         if self.sideband is not None:
             self._process_sideband(cycle)
+
+    def _egress_pending(self) -> bool:
+        """Link-protocol replay that must transmit despite zero inflight
+        (replayed flits live in the sender window, not the buffers)."""
+        for op in self._active_out:
+            tx = op.link_tx
+            if tx is not None and tx.replay:
+                return True
+        return False
+
+    def _retrieval_pending(self) -> bool:
+        """Retrieval work that can start from zero inflight: queued
+        retransmission clones or congestion-stashed packets (in-progress
+        retrievals hold inflight flits already)."""
+        for ip in self._active_in:
+            if ip.retrieval_queue:
+                return True
+            partition = ip.partition
+            if partition is not None and partition._fifo:
+                return True
+        return False
+
+    def next_active_cycle(self, cycle: int) -> int | None:
+        """Wake-list contract (docs/PERFORMANCE.md): the next cycle our
+        ``step`` could do anything.  Buffered flits, pending retrieval
+        work, and link replay demand every cycle; otherwise the earliest
+        input-channel / credit-channel delivery, retention expiry, side
+        band delivery, or paced retransmission bounds the sleep.  A
+        bound channel ``send`` wakes us independently, so only deadlines
+        already in flight matter here."""
+        if self.inflight:
+            return cycle + 1
+        wake = None
+        for ip in self._active_in:
+            if ip.retrieval_queue or ip.retrieval is not None:
+                return cycle + 1
+            partition = ip.partition
+            if partition is not None and partition._fifo:
+                return cycle + 1
+            ch = ip.flit_in
+            if ch is not None:
+                q = ch._queue
+                if q and (wake is None or q[0][0] < wake):
+                    wake = q[0][0]
+        for op in self._active_out:
+            tx = op.link_tx
+            if tx is not None and tx.replay:
+                return cycle + 1
+            ch = op.credit_in
+            if ch is not None:
+                q = ch._queue
+                if q and (wake is None or q[0][0] < wake):
+                    wake = q[0][0]
+            pending = op.pending_release
+            if pending and (wake is None or pending[0][0] < wake):
+                wake = pending[0][0]
+        sideband = self.sideband
+        if sideband is not None:
+            due = sideband.next_deadline
+            if due is not None and (wake is None or due < wake):
+                wake = due
+        if wake is not None and wake <= cycle:
+            return cycle + 1
+        return wake
 
     def _idle(self) -> bool:
         """Fast path: nothing buffered, arriving, or pending anywhere."""
@@ -230,7 +353,7 @@ class TiledSwitch:
                 return False
             if ip.retrieval_queue or ip.retrieval is not None:
                 return False
-            if ip.partition is not None and ip.partition.fifo_depth:
+            if ip.partition is not None and ip.partition._fifo:
                 return False
         for op in self._active_out:
             if op.pending_release:

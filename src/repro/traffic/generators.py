@@ -46,6 +46,19 @@ class BernoulliSource:
     def active(self, cycle: int) -> bool:
         return cycle >= self.start and (self.stop is None or cycle < self.stop)
 
+    def next_active_cycle(self, cycle: int) -> int | None:
+        """Wake-list contract: Bernoulli draws consume one RNG sample on
+        every active cycle, so the endpoint may never sleep through the
+        active window; outside it, sleep until ``start`` (or forever)."""
+        if self.prob <= 0.0:
+            return None
+        nxt = cycle + 1
+        if nxt < self.start:
+            return self.start
+        if self.stop is not None and nxt >= self.stop:
+            return None
+        return nxt
+
     def generate(self, endpoint: "Endpoint", cycle: int) -> None:
         if not self.active(cycle) or self.prob <= 0.0:
             return
@@ -84,6 +97,17 @@ class BurstSource:
 
     def active(self, cycle: int) -> bool:
         return cycle >= self.start and (self.stop is None or cycle < self.stop)
+
+    def next_active_cycle(self, cycle: int) -> int | None:
+        """Wake-list contract: a closed-loop source refills the NIC
+        backlog on any active cycle, so it keeps the endpoint awake for
+        the whole active window."""
+        nxt = cycle + 1
+        if nxt < self.start:
+            return self.start
+        if self.stop is not None and nxt >= self.stop:
+            return None
+        return nxt
 
     def generate(self, endpoint: "Endpoint", cycle: int) -> None:
         if not self.active(cycle):

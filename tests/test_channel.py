@@ -78,3 +78,31 @@ def test_recv_ready_returns_list():
     assert isinstance(ready, list)
     # the returned list is a snapshot: iterating twice sees the same items
     assert list(ready) == list(ready) == ["x"]
+
+
+def test_send_rejects_out_of_order_cycle():
+    # regression: a send below the queue tail's cycle used to be
+    # accepted silently, corrupting FIFO delivery order and the event
+    # kernel's next-arrival deadline
+    ch = Channel(2, name="lnk")
+    ch.send("a", cycle=10)
+    with pytest.raises(ValueError, match="out-of-order send on lnk"):
+        ch.send("b", cycle=9)
+    # the offending item must not have been enqueued
+    assert len(ch) == 1
+    assert ch.recv_ready(12) == ["a"]
+
+
+def test_send_same_cycle_is_in_order():
+    ch = Channel(1)
+    ch.send("a", cycle=4)
+    ch.send("b", cycle=4)  # equal cycles are fine (batched sends)
+    ch.send("c", cycle=5)
+    assert ch.recv_ready(6) == ["a", "b", "c"]
+
+
+def test_credit_channel_inherits_monotonic_contract():
+    ch = CreditChannel(3)
+    ch.send_credit(vc=1, flits=2, cycle=8)
+    with pytest.raises(ValueError):
+        ch.send_credit(vc=1, flits=2, cycle=5)

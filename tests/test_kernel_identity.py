@@ -1,0 +1,95 @@
+"""Cross-kernel byte-identity: polling vs event cycle loops.
+
+The event kernel's one proof obligation (docs/PERFORMANCE.md) is that a
+skipped component step would have been a provable no-op — no state
+change, no RNG draw, no counter increment.  These tests enforce the
+consequence end to end: identical experiment output, down to every
+individual latency sample, under both kernels.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+from contextlib import redirect_stdout
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.engine.config import SimParams
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.common import reliability_network
+from tests.conftest import micro_config
+
+
+def _base(kernel: str, seed: int = 3):
+    return micro_config(
+        sim=SimParams(seed=seed, warmup_cycles=200, measure_cycles=600,
+                      drain_cycles=8000, sample_period=25, kernel=kernel)
+    )
+
+
+def _render_fig5(kernel: str) -> str:
+    """One quick fig5 sweep, captured exactly as the runner prints it."""
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        results = run_fig5(
+            _base(kernel),
+            loads=(0.2, 0.8),
+            variants=("baseline", "stash100", "stash25"),
+            seed=3,
+        )
+        print(format_fig5(results))
+    return buffer.getvalue()
+
+
+def test_fig5_quick_output_identical_across_kernels():
+    polling = _render_fig5("polling")
+    event = _render_fig5("event")
+    assert polling, "fig5 rendered no output"
+    assert polling == event
+
+
+def test_fig7_results_identical_across_kernels():
+    by_kernel = {}
+    for kernel in ("polling", "event"):
+        by_kernel[kernel] = run_fig7(
+            _base(kernel), victim_rate=0.3, seed=3, total_cycles=1200
+        )
+    polling, event = by_kernel["polling"], by_kernel["event"]
+    assert polling.keys() == event.keys()
+    for variant in polling:
+        p, e = polling[variant], event[variant]
+        # exact equality on purpose: the kernels must not diverge by
+        # even one sample (simlint float-equality rule does not apply to
+        # identity assertions in tests)
+        assert np.array_equal(p.time, e.time), variant
+        assert np.array_equal(p.avg_latency, e.avg_latency, equal_nan=True), variant
+        assert np.array_equal(p.icdf_latency, e.icdf_latency), variant
+        assert p.mean_latency == pytest.approx(e.mean_latency, abs=0.0), variant
+        assert p.p99_latency == pytest.approx(e.p99_latency, abs=0.0), variant
+
+
+def _latency_samples(kernel: str, variant: str, rate: float, seed: int):
+    net = reliability_network(_base(kernel, seed=seed), variant, seed=seed)
+    net.add_uniform_traffic(rate=rate)
+    net.run_standard()
+    return net.sim.cycle, list(net.latency._samples)
+
+
+@pytest.mark.parametrize("trial", range(4))
+def test_fuzz_randomized_traffic_samples_identical(trial):
+    """Fuzz flavour: randomized (variant, load, seed) points must yield
+    the exact same per-packet latency sample sequence under both
+    kernels, not just matching aggregates."""
+    rng = random.Random(0xC0FFEE + trial)
+    variant = rng.choice(["baseline", "stash100", "stash50", "stash25"])
+    rate = rng.choice([0.15, 0.35, 0.55, 0.75])
+    seed = rng.randrange(1, 10_000)
+    p_cycle, p_samples = _latency_samples("polling", variant, rate, seed)
+    e_cycle, e_samples = _latency_samples("event", variant, rate, seed)
+    assert p_cycle == e_cycle
+    assert p_samples, f"no traffic delivered for {variant}@{rate} seed={seed}"
+    assert p_samples == e_samples

@@ -101,6 +101,35 @@ class TestStashPartition:
                 p.delete(live.pop(0))
             assert 0 <= p.committed_flits <= p.capacity
 
+    def test_store_without_commit_rejected(self):
+        # regression: store()/push_fifo() used to accept packets with no
+        # matching commit, letting stored data exceed the committed space
+        p = StashPartition(0, 64)
+        with pytest.raises(RuntimeError, match="without a matching commit"):
+            p.store(_pkt(4))
+        assert p.empty
+
+    def test_push_fifo_without_commit_rejected(self):
+        p = StashPartition(0, 64)
+        with pytest.raises(RuntimeError, match="without a matching commit"):
+            p.push_fifo(_pkt(4))
+        assert p.fifo_depth == 0
+
+    def test_store_beyond_committed_rejected(self):
+        p = StashPartition(0, 64)
+        p.commit(4)  # room for exactly one 4-flit packet
+        p.store(_pkt(4, 1))
+        with pytest.raises(RuntimeError, match="without a matching commit"):
+            p.store(_pkt(4, 2))
+
+    def test_delete_frees_stored_pages_for_new_commits(self):
+        p = StashPartition(0, 64)
+        p.commit(4)
+        loc = p.store(_pkt(4, 1))
+        p.delete(loc)
+        p.commit(4)
+        p.store(_pkt(4, 2))  # freed pages usable again after delete
+
 
 class TestStashDirectory:
     def _directory(self):

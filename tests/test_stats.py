@@ -175,3 +175,21 @@ class TestHistogram:
             Histogram(0, 0, 1)
         with pytest.raises(ValueError):
             Histogram(5, 2, 1)
+
+    def test_nan_samples_dropped_and_counted(self):
+        # regression: record(nan) used to crash on int(nan) mid-run; NaN
+        # now lands in a dedicated tally instead of any bin
+        h = Histogram(4, 0.0, 4.0)
+        h.record(math.nan)
+        h.record(1.5)
+        h.record(float("nan"))
+        assert h.total == 1
+        assert h.nan_samples == 2
+        assert h.counts[1] == 1
+
+    def test_infinities_still_clamp_to_edge_bins(self):
+        h = Histogram(4, 0.0, 4.0)
+        h.record(math.inf)
+        h.record(-math.inf)
+        assert h.nan_samples == 0
+        assert h.counts[0] == 1 and h.counts[3] == 1

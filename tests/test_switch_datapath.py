@@ -126,15 +126,16 @@ class TestBroadcastDuplication:
 class TestSpeedupTokens:
     def test_internal_bandwidth_ratio(self):
         """With speedup 1.3, internal stages run 13 passes per 10
-        cycles; measure via a saturated single flow."""
+        cycles; the schedule is a stateless function of the absolute
+        cycle number so skipped idle cycles cannot shift it."""
         net = single_switch_net()
         sw = net.switches[0]
-        tokens = []
-        for _ in range(10):
-            sw._tokens += sw.cfg.speedup
-            passes = int(sw._tokens)
-            sw._tokens -= passes
-            tokens.append(passes)
+        n = sw._speedup_x10k
+        assert n == 13_000
+        tokens = [
+            (cycle + 1) * n // 10_000 - cycle * n // 10_000
+            for cycle in range(10)
+        ]
         assert sum(tokens) == 13
 
     def test_speedup_one_never_doubles(self):
