@@ -26,6 +26,13 @@ SIM008    missing docstrings on the public API (module docstring,
           exported defs/classes, and their public methods) of modules
           in ``engine/`` / ``switch/`` / ``obs/`` that declare
           ``__all__``
+SIM009    direct write to another component's wake-relevant state
+          (``_queue``, ``pending``, ``sources``, ...) through a
+          function parameter; route it through a method of the owner
+          that pairs the wake (see ``repro.devtools.wakecheck``)
+SIM010    ``next_active_cycle`` implementations that draw from an RNG
+          or mutate state; the wake probe must be pure so the event
+          kernel (and ``verify_wake``) may call it at any time
 ========  ============================================================
 
 Usage::
@@ -129,6 +136,20 @@ RULES: tuple[RuleInfo, ...] = (
         "public API; the module, every exported def/class, and every "
         "public method of an exported class must carry a docstring",
     ),
+    RuleInfo(
+        "SIM009",
+        "foreign-wake-state-write",
+        "writing another component's wake-relevant state through a "
+        "parameter bypasses the owner's wake pairing; call a method of "
+        "the owner instead (wakecheck verifies the pairing itself)",
+    ),
+    RuleInfo(
+        "SIM010",
+        "impure-wake-probe",
+        "next_active_cycle must be a pure read: the event kernel and "
+        "verify_wake shadow mode may invoke it at any cycle, so RNG "
+        "draws or state mutations there diverge the simulation",
+    ),
 )
 
 RULE_IDS = frozenset(r.rule_id for r in RULES)
@@ -163,6 +184,25 @@ _DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
 
 #: random-module attributes that are *not* global-RNG draws
 _RANDOM_SAFE_ATTRS = frozenset({"Random", "SystemRandom"})
+
+#: wake-relevant attribute names SIM009 protects from foreign writes.
+#: Kept in sync with the registry wakecheck infers (see
+#: docs/WAKE_CONTRACT.md) — these are the names whose mutation changes
+#: a component's ``next_active_cycle`` answer.
+_WAKE_STATE_ATTRS = frozenset(
+    {"_queue", "pending", "sources", "replay", "retrieval_queue",
+     "_paced_retransmits", "credits", "_blocked"}
+)
+
+#: container methods that mutate their receiver in place (SIM009/SIM010)
+_MUTATOR_METHODS = frozenset(
+    {"append", "appendleft", "extend", "extendleft", "insert", "add",
+     "update", "pop", "popleft", "remove", "discard", "clear", "rotate",
+     "setdefault", "sort", "reverse"}
+)
+
+#: name segments that identify an RNG receiver in SIM010
+_RNG_SEGMENTS = frozenset({"rng", "_rng", "random"})
 
 _SUPPRESS_RE = re.compile(
     r"#\s*simlint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)"
@@ -263,6 +303,13 @@ class _FunctionScope:
     def __init__(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
         args = node.args
         positional = args.posonlyargs + args.args
+        self.name = node.name
+        # parameter names excluding the receiver (SIM009 roots)
+        self.params: set[str] = {a.arg for a in positional + args.kwonlyargs}
+        for star in (args.vararg, args.kwarg):
+            if star is not None:
+                self.params.add(star.arg)
+        self.params -= {"self", "cls"}
         # parameters whose declared default is the literal None
         self.none_default_params: set[str] = set()
         for arg, default in zip(positional[len(positional) - len(args.defaults):],
@@ -379,6 +426,13 @@ class _Checker(ast.NodeVisitor):
         if callee is not None:
             self._check_random_call(node, callee)
             self._check_wall_clock(node, callee)
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATOR_METHODS:
+                self._check_foreign_wake_write(node.func.value, node)
+                self._check_probe_mutation(
+                    node.func.value, node, f"{node.func.attr}() call"
+                )
+            self._check_probe_rng(node)
         self.generic_visit(node)
 
     def _check_random_call(self, node: ast.Call, callee: str) -> None:
@@ -596,6 +650,112 @@ class _Checker(ast.NodeVisitor):
                             f"public method {node.name}.{member.name} "
                             "has no docstring",
                         )
+
+    # -- SIM009 / SIM010: wake-contract hygiene -------------------------
+
+    @staticmethod
+    def _receiver_chain(node: ast.expr) -> tuple[str | None, list[str]]:
+        """Root name and attribute names (outermost last) of a dotted /
+        indexed chain: ``comp.links[0].pending`` -> ("comp",
+        ["links", "pending"])."""
+        attrs: list[str] = []
+        while True:
+            if isinstance(node, ast.Attribute):
+                attrs.append(node.attr)
+                node = node.value
+            elif isinstance(node, ast.Subscript):
+                node = node.value
+            else:
+                break
+        if isinstance(node, ast.Name):
+            return node.id, attrs[::-1]
+        return None, attrs[::-1]
+
+    def _check_state_write(self, target: ast.expr) -> None:
+        """Route one assignment target through SIM009 and SIM010."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_state_write(elt)
+            return
+        if isinstance(target, ast.Starred):
+            self._check_state_write(target.value)
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._check_foreign_wake_write(target, target)
+            self._check_probe_mutation(target, target, "assignment")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_state_write(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_state_write(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_state_write(node.target)
+        self.generic_visit(node)
+
+    def _check_foreign_wake_write(
+        self, receiver: ast.expr, site: ast.AST
+    ) -> None:
+        """SIM009: the receiver of a write/mutator is rooted at a function
+        parameter (not ``self``) and ends on a wake-relevant attribute —
+        foreign state is being poked past the owner's wake pairing."""
+        if not self._scopes:
+            return
+        root, attrs = self._receiver_chain(receiver)
+        if root is None or not attrs:
+            return
+        if root not in self._scopes[-1].params:
+            return
+        if attrs[-1] not in _WAKE_STATE_ATTRS:
+            return
+        self._flag(
+            "SIM009",
+            site,
+            f"direct write to {root}.{'.'.join(attrs)} reaches another "
+            "component's wake-relevant state; call a method of the owner "
+            "so the mutation stays paired with its wake "
+            "(docs/WAKE_CONTRACT.md)",
+        )
+
+    def _in_wake_probe(self) -> bool:
+        return any(s.name == "next_active_cycle" for s in self._scopes)
+
+    def _check_probe_mutation(
+        self, receiver: ast.expr, site: ast.AST, verb: str
+    ) -> None:
+        """SIM010: a mutation inside ``next_active_cycle`` that touches
+        object state (receiver chain crosses at least one attribute)."""
+        if not self._in_wake_probe():
+            return
+        _, attrs = self._receiver_chain(receiver)
+        if not attrs and not isinstance(receiver, ast.Subscript):
+            return  # a purely local name: harmless scratch space
+        self._flag(
+            "SIM010",
+            site,
+            f"next_active_cycle mutates state ({verb}); the wake probe "
+            "must be a pure read — the kernel and verify_wake may call "
+            "it at any cycle",
+        )
+
+    def _check_probe_rng(self, node: ast.Call) -> None:
+        if not self._in_wake_probe():
+            return
+        root, attrs = self._receiver_chain(node.func)
+        segments = set(attrs[:-1]) | ({root} if root else set())
+        if segments & _RNG_SEGMENTS:
+            self._flag(
+                "SIM010",
+                node,
+                "next_active_cycle draws from an RNG; the probe may run "
+                "a different number of times per cycle across kernels, "
+                "so any draw here diverges the simulation",
+            )
 
     # -- SIM007: float equality -----------------------------------------
 

@@ -1,0 +1,1475 @@
+"""wakecheck — whole-program wake-soundness analyzer for the event kernel.
+
+The event kernel (``repro.engine.simulator``, docs/PERFORMANCE.md) skips a
+component's ``step`` while the component is provably idle.  That proof
+rests on a convention: every mutation of state that can change a
+component's ``next_active_cycle`` must be paired with a wake — a
+``Simulator.wake`` / ``wake_component`` call, or a ``bind_wake``-bound
+:meth:`Channel.send`.  A write that breaks the pairing makes a component
+sleep through work, and results silently diverge from the polling kernel.
+
+wakecheck makes the convention a checked property.  It parses every
+module under the given paths as ONE program and runs four passes:
+
+1. **Contract registry** — every class that implements
+   ``next_active_cycle`` is a component root.  The attributes read inside
+   its ``next_active_cycle`` closure (following ``self``/typed locals
+   through properties and helper methods, 4 levels deep) are that
+   component's *wake-relevant state*: the state whose value decides when
+   the kernel may skip it.
+
+2. **Ownership clusters** — for each root, the set of helper classes it
+   (transitively) constructs (ports, tiles, partitions, trackers...).  A
+   class constructed into the attribute graphs of two unrelated roots is
+   a *conduit* (e.g. :class:`Channel`): shared state written by one
+   component and read by another's ``next_active_cycle``, which is
+   exactly the state that always needs an explicit wake.
+
+3. **Call-graph reachability** — which methods are reachable from each
+   root's ``step`` (interprocedural, resolved through ``self``, typed
+   parameters and typed attribute chains), and which are reachable only
+   from constructors.
+
+4. **Write classification** — every write to wake-relevant state
+   (attribute assignment, augmented assignment, growing container
+   mutation, ``heappush``/``insort``) is flagged **WAKE001** unless one
+   of these holds:
+
+   * the write executes during the owning component's own ``step``
+     (the kernel re-evaluates ``next_active_cycle`` right after), and
+     the written class is not a conduit;
+   * the enclosing function is reachable only from constructors (the
+     component has not been registered/run yet), or is ``__init__``
+     itself;
+   * the mutation only *removes* work (``popleft``/``discard``/... —
+     a sleeping component can never miss work that ceased to exist);
+   * the write is followed, in the same function, by a wake call or a
+     call into a function that wakes within two levels (the paired-wake
+     idiom of :meth:`Channel.send`);
+   * the line carries an explicit ``# wakecheck: ok(<reason>)``.
+
+   **WAKE002** flags wake calls whose cycle argument is syntactically
+   behind the current cycle (``sim.wake(idx, cycle - k)``): a stale wake
+   is a contract violation the simulator rejects at runtime.
+
+Usage::
+
+    python -m repro.devtools.wakecheck src/
+    python -m repro.devtools.wakecheck --format json src/
+    python -m repro.devtools.wakecheck --annotate docs/WAKE_CONTRACT.md src/
+    python -m repro.devtools.wakecheck --list-rules
+
+Exit codes are stable and shared with simlint: 0 clean, 1 violations
+found, 2 usage or parse error.
+
+The analysis is deliberately conservative where Python defeats static
+typing: writes through untyped receivers are not flagged (no false
+positives from dynamic code), and the paired-wake check is lexical
+rather than a true post-dominator analysis.  The runtime counterpart —
+``Simulator(verify_wake=True)`` — closes that gap by re-probing declared
+wake cycles against actual ``next_active_cycle`` results during fuzz
+runs (docs/WAKE_CONTRACT.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_VIOLATIONS",
+    "RULES",
+    "SCHEMA_VERSION",
+    "Program",
+    "Report",
+    "Violation",
+    "analyze_paths",
+    "main",
+    "render_annotation",
+]
+
+SCHEMA_VERSION = 1
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    rule_id: str
+    name: str
+    rationale: str
+
+
+RULES: tuple[RuleInfo, ...] = (
+    RuleInfo(
+        "WAKE001",
+        "unwoken-write",
+        "a write to wake-relevant state (read by some component's "
+        "next_active_cycle) outside the owner's own step, without a "
+        "paired wake call: the owner can sleep through the new work",
+    ),
+    RuleInfo(
+        "WAKE002",
+        "stale-wake",
+        "a wake scheduled syntactically behind the current cycle "
+        "(cycle - k); Simulator.wake raises on stale cycles at runtime",
+    ),
+)
+
+RULE_IDS = frozenset(r.rule_id for r in RULES)
+
+#: container-mutator method names that can only ADD work
+_GROWING = frozenset(
+    {"append", "appendleft", "extend", "extendleft", "add", "insert",
+     "setdefault", "update", "push", "put"}
+)
+#: container-mutator method names that remove or rearrange work; a
+#: sleeping component cannot miss work that was drained away
+_DRAINING = frozenset(
+    {"pop", "popleft", "popright", "remove", "discard", "clear",
+     "popitem", "rotate", "reverse", "sort", "release"}
+)
+#: free functions whose first argument is mutated (grown)
+_GROWING_FREE = frozenset({"heappush", "insort", "insort_left", "insort_right"})
+
+#: method names that deliver a wake when called
+_WAKE_METHODS = frozenset({"wake", "wake_component"})
+
+#: constructor-family methods whose writes are exempt by definition
+_CTOR_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__set_name__"})
+
+_OK_RE = re.compile(r"#\s*wakecheck:\s*ok\(([^)]*)\)")
+
+_NAC = "next_active_cycle"
+
+#: bounded traversal depths (the issue's "2-3 levels", with slack where
+#: being deeper only removes false positives)
+_RELEVANCE_DEPTH = 4
+_REACH_DEPTH = 8
+_WAKEISH_DEPTH = 2
+
+
+# ---------------------------------------------------------------------------
+# type lattice: (possible classes, element info) with bounded nesting
+# ---------------------------------------------------------------------------
+
+
+class TInfo:
+    """A conservative type guess: scalar class candidates + element info
+    (one guess per container level, three levels deep at most)."""
+
+    __slots__ = ("scalar", "elem")
+
+    def __init__(self, scalar: frozenset[str] = frozenset(),
+                 elem: "TInfo | None" = None) -> None:
+        self.scalar = scalar
+        self.elem = elem
+
+    def __bool__(self) -> bool:
+        return bool(self.scalar) or self.elem is not None
+
+    def union(self, other: "TInfo") -> "TInfo":
+        if not other:
+            return self
+        if not self:
+            return other
+        elem = self.elem
+        if other.elem is not None:
+            elem = other.elem if elem is None else elem.union(other.elem)
+        return TInfo(self.scalar | other.scalar, elem)
+
+
+_EMPTY = TInfo()
+
+#: names treated as container constructors in annotations
+_CONTAINER_NAMES = frozenset(
+    {"list", "List", "deque", "Deque", "tuple", "Tuple", "set", "Set",
+     "frozenset", "FrozenSet", "Sequence", "Iterable", "Iterator"}
+)
+_MAPPING_NAMES = frozenset({"dict", "Dict", "Mapping", "MutableMapping",
+                            "defaultdict", "OrderedDict"})
+
+
+@dataclass
+class EnvEntry:
+    """What the analyzer knows about one local name."""
+
+    tinfo: TInfo = field(default_factory=TInfo)
+    #: (class, attr) pairs this local aliases (e.g. ``q = self._queue``)
+    origins: frozenset[tuple[str, str]] = frozenset()
+    #: constructed in this very function (creation-edge source)
+    fresh: bool = False
+
+
+# ---------------------------------------------------------------------------
+# program index
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    path: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    properties: set[str] = field(default_factory=set)
+    attr_types: dict[str, TInfo] = field(default_factory=dict)
+
+
+#: function key: ("C", class_name, method) or ("F", path, func_name)
+FuncKey = tuple[str, str, str]
+
+
+@dataclass
+class CallRec:
+    callee: FuncKey | None
+    line: int
+    direct_wake: bool
+    node: ast.Call
+    #: method name when the call goes through ``self`` — re-resolved
+    #: against the dynamic class during per-root closures, so a base
+    #: class's ``self.m()`` reaches a subclass override
+    via_self: str | None = None
+    #: method name when the call goes through ``super()``
+    via_super: str | None = None
+
+
+@dataclass
+class WriteRec:
+    attr: str
+    classes: frozenset[str]  # candidate owning classes of the receiver
+    kind: str  # "grow" | "assign" | "drain"
+    line: int
+    col: int
+    detail: str
+
+
+@dataclass
+class FuncFacts:
+    key: FuncKey
+    path: str
+    node: ast.FunctionDef
+    reads: list[tuple[frozenset[str], str]] = field(default_factory=list)
+    writes: list[WriteRec] = field(default_factory=list)
+    calls: list[CallRec] = field(default_factory=list)
+    #: creation edges: (owner class, created class)
+    creates: list[tuple[str, str]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit, addressable by file and position."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class WakecheckError(Exception):
+    """A file could not be read or parsed."""
+
+
+class Program:
+    """The whole-program index: classes, functions, and per-function facts."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[FuncKey, ast.FunctionDef] = {}
+        self.facts: dict[FuncKey, FuncFacts] = {}
+        self.sources: dict[str, str] = {}
+        self.files: list[str] = []
+        # analysis results
+        self.roots: list[str] = []
+        self.relevant: dict[str, set[str]] = {}
+        self.relevant_roots: dict[tuple[str, str], set[str]] = {}
+        self.clusters: dict[str, set[str]] = {}
+        self.conduits: set[str] = set()
+        self.step_safe: dict[str, set[FuncKey]] = {}
+        self.any_step: set[FuncKey] = set()
+        self.ctor_reachable: set[FuncKey] = set()
+        self.wakeish: set[FuncKey] = set()
+
+    # -- indexing ------------------------------------------------------
+
+    def add_module(self, path: Path, source: str) -> None:
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise WakecheckError(
+                f"{path}: syntax error: {exc.msg} (line {exc.lineno})"
+            )
+        rel = path.as_posix()
+        self.sources[rel] = source
+        self.files.append(rel)
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._add_class(rel, node)
+            elif isinstance(node, ast.FunctionDef):
+                self.functions[("F", rel, node.name)] = node
+
+    def _add_class(self, rel: str, node: ast.ClassDef) -> None:
+        info = ClassInfo(node.name, rel, node)
+        for base in node.bases:
+            name = _tail_name(base)
+            if name is not None:
+                info.bases.append(name)
+        for member in node.body:
+            if isinstance(member, ast.FunctionDef):
+                info.methods[member.name] = member
+                for deco in member.decorator_list:
+                    if _tail_name(deco) in ("property", "cached_property"):
+                        info.properties.add(member.name)
+        # later definition of the same class name wins (none expected)
+        self.classes[node.name] = info
+
+    # -- class hierarchy ----------------------------------------------
+
+    def mro(self, name: str) -> list[str]:
+        """Name-based linearization: DFS order with duplicates dropped."""
+        out: list[str] = []
+        seen: set[str] = set()
+
+        def visit(cls: str) -> None:
+            if cls in seen or cls not in self.classes:
+                return
+            seen.add(cls)
+            out.append(cls)
+            for base in self.classes[cls].bases:
+                visit(base)
+
+        visit(name)
+        return out
+
+    def related(self, a: str, b: str) -> bool:
+        """Same class, ancestor, or descendant (name-based)."""
+        return a == b or b in self.mro(a) or a in self.mro(b)
+
+    def resolve_method(self, cls: str, meth: str) -> FuncKey | None:
+        for candidate in self.mro(cls):
+            if meth in self.classes[candidate].methods:
+                return ("C", candidate, meth)
+        return None
+
+    def resolve_super(self, dyncls: str, defcls: str, meth: str) -> FuncKey | None:
+        order = self.mro(dyncls)
+        if defcls in order:
+            order = order[order.index(defcls) + 1:]
+        for cls in order:
+            if meth in self.classes[cls].methods:
+                return ("C", cls, meth)
+        return None
+
+    def attr_tinfo(self, classes: frozenset[str], attr: str) -> TInfo:
+        out = _EMPTY
+        for cls in classes:
+            for mc in self.mro(cls):
+                info = self.classes.get(mc)
+                if info is not None and attr in info.attr_types:
+                    out = out.union(info.attr_types[attr])
+        return out
+
+    def is_property(self, classes: frozenset[str], attr: str) -> FuncKey | None:
+        for cls in classes:
+            for mc in self.mro(cls):
+                info = self.classes.get(mc)
+                if info is not None and attr in info.properties:
+                    return ("C", mc, attr)
+        return None
+
+
+def _tail_name(node: ast.expr) -> str | None:
+    """``Foo`` for Name, the final attribute for dotted expressions."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # string annotation: take the first identifier
+        match = re.match(r"\s*([A-Za-z_][A-Za-z0-9_]*)", node.value)
+        return match.group(1) if match else None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# annotation -> TInfo
+# ---------------------------------------------------------------------------
+
+
+def _parse_annotation(program: Program, node: ast.expr | None,
+                      depth: int = 0) -> TInfo:
+    if node is None or depth > 3:
+        return _EMPTY
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return _EMPTY
+        return _parse_annotation(program, parsed, depth)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _parse_annotation(program, node.left, depth).union(
+            _parse_annotation(program, node.right, depth)
+        )
+    if isinstance(node, ast.Subscript):
+        head = _tail_name(node.value)
+        slc = node.slice
+        if head in ("Optional",):
+            return _parse_annotation(program, slc, depth)
+        if head in _MAPPING_NAMES:
+            value_ann = (
+                slc.elts[-1]
+                if isinstance(slc, ast.Tuple) and slc.elts
+                else None
+            )
+            return TInfo(elem=_parse_annotation(program, value_ann, depth + 1)
+                         or None)
+        if head in _CONTAINER_NAMES:
+            elems = slc.elts if isinstance(slc, ast.Tuple) else [slc]
+            elem = _EMPTY
+            for e in elems:
+                if isinstance(e, ast.Constant) and e.value is Ellipsis:
+                    continue
+                elem = elem.union(_parse_annotation(program, e, depth + 1))
+            return TInfo(elem=elem or None)
+        return _EMPTY
+    name = _tail_name(node)
+    if name is not None and name in program.classes:
+        return TInfo(frozenset({name}))
+    return _EMPTY
+
+
+# ---------------------------------------------------------------------------
+# per-function analysis
+# ---------------------------------------------------------------------------
+
+
+class _FuncAnalyzer:
+    """One pass over a function body: env-tracked reads, writes, calls,
+    and creation edges, in statement order."""
+
+    def __init__(self, program: Program, key: FuncKey, path: str,
+                 node: ast.FunctionDef, collect_attr_types: bool = False):
+        self.program = program
+        self.key = key
+        self.path = path
+        self.node = node
+        self.defcls = key[1] if key[0] == "C" else None
+        self.facts = FuncFacts(key, path, node)
+        self.env: dict[str, EnvEntry] = {}
+        self.collect_attr_types = collect_attr_types
+        self.self_name: str | None = None
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if self.defcls is not None and positional:
+            first = positional[0].arg
+            if first in ("self", "cls") or not _is_static(node):
+                self.self_name = first
+                self.env[first] = EnvEntry(TInfo(frozenset({self.defcls})))
+                positional = positional[1:]
+        for arg in positional + list(args.kwonlyargs):
+            t = _parse_annotation(program, arg.annotation)
+            if t:
+                self.env[arg.arg] = EnvEntry(t)
+
+    # -- expression typing --------------------------------------------
+
+    def infer(self, node: ast.expr, depth: int = 0) -> EnvEntry:
+        if depth > 6:
+            return EnvEntry()
+        program = self.program
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, EnvEntry())
+        if isinstance(node, ast.Attribute):
+            base = self.infer(node.value, depth + 1)
+            if base.tinfo.scalar:
+                t = program.attr_tinfo(base.tinfo.scalar, node.attr)
+                origins = frozenset(
+                    (cls, node.attr) for cls in base.tinfo.scalar
+                )
+                return EnvEntry(t, origins)
+            return EnvEntry()
+        if isinstance(node, ast.Subscript):
+            base = self.infer(node.value, depth + 1)
+            elem = base.tinfo.elem if base.tinfo.elem is not None else _EMPTY
+            # an element of a freshly built container is itself fresh
+            # (``partitions[i]`` after ``partitions = [StashPartition(...)]``)
+            return EnvEntry(elem, base.origins, base.fresh)
+        if isinstance(node, ast.Call):
+            fname = _tail_name(node.func)
+            if (
+                isinstance(node.func, ast.Name)
+                and fname in program.classes
+            ):
+                return EnvEntry(TInfo(frozenset({fname})), fresh=True)
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "values"
+            ):
+                recv = self.infer(node.func.value, depth + 1)
+                if recv.tinfo.elem is not None:
+                    return EnvEntry(
+                        TInfo(elem=recv.tinfo.elem), recv.origins
+                    )
+            # fall back to the callee's return annotation
+            # (``self._build_switches()`` with ``-> list[TiledSwitch]``)
+            callee_def: ast.FunctionDef | None = None
+            if isinstance(node.func, ast.Name):
+                callee_def = program.functions.get(
+                    ("F", self.path, node.func.id)
+                )
+            elif isinstance(node.func, ast.Attribute):
+                recv = self.infer(node.func.value, depth + 1)
+                for cls in sorted(recv.tinfo.scalar):
+                    mk = program.resolve_method(cls, node.func.attr)
+                    if mk is not None:
+                        callee_def = program.classes[mk[1]].methods[mk[2]]
+                        break
+            if callee_def is not None:
+                t = _parse_annotation(program, callee_def.returns)
+                if t:
+                    return EnvEntry(t)
+            return EnvEntry()
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            elem = _EMPTY
+            fresh = True
+            for elt in node.elts:
+                sub = self.infer(elt, depth + 1)
+                elem = elem.union(sub.tinfo)
+                fresh = fresh and sub.fresh
+            return EnvEntry(TInfo(elem=elem or None), fresh=fresh)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            saved: dict[str, EnvEntry | None] = {}
+            for gen in node.generators:
+                src = self.infer(gen.iter, depth + 1)
+                elem = src.tinfo.elem if src.tinfo.elem is not None else _EMPTY
+                if isinstance(gen.target, ast.Name):
+                    saved.setdefault(
+                        gen.target.id, self.env.get(gen.target.id)
+                    )
+                    self.env[gen.target.id] = EnvEntry(elem)
+            out = self.infer(node.elt, depth + 1)
+            for name, prev in saved.items():
+                if prev is None:
+                    self.env.pop(name, None)
+                else:
+                    self.env[name] = prev
+            return EnvEntry(TInfo(elem=out.tinfo or None), fresh=out.fresh)
+        if isinstance(node, ast.IfExp):
+            a = self.infer(node.body, depth + 1)
+            b = self.infer(node.orelse, depth + 1)
+            return EnvEntry(a.tinfo.union(b.tinfo), a.origins | b.origins,
+                            a.fresh and b.fresh)
+        if isinstance(node, ast.BoolOp):
+            out = EnvEntry()
+            for value in node.values:
+                sub = self.infer(value, depth + 1)
+                out = EnvEntry(out.tinfo.union(sub.tinfo),
+                               out.origins | sub.origins)
+            return out
+        if isinstance(node, ast.NamedExpr):
+            return self.infer(node.value, depth + 1)
+        if isinstance(node, ast.Starred):
+            return self.infer(node.value, depth + 1)
+        return EnvEntry()
+
+    # -- write-target resolution --------------------------------------
+
+    def _target_site(self, node: ast.expr) -> tuple[frozenset[str], str] | None:
+        """The (owner classes, attr) a write through ``node`` lands on:
+        the innermost attribute in the receiver chain, or the alias
+        origin of a plain local name."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute):
+            base = self.infer(node.value)
+            if base.tinfo.scalar:
+                return base.tinfo.scalar, node.attr
+            if base.origins:
+                # e.g. ``chq`` aliasing ``ch._queue`` subscripted — keep
+                # the alias origin rather than dropping the write
+                cls, attr = next(iter(sorted(base.origins)))
+                return frozenset({cls}), attr
+            return None
+        if isinstance(node, ast.Name):
+            entry = self.env.get(node.id)
+            if entry is not None and entry.origins:
+                classes = frozenset(cls for cls, _ in entry.origins)
+                attr = next(iter(sorted(a for _, a in entry.origins)))
+                return classes, attr
+        return None
+
+    def _record_write(self, node: ast.expr, kind: str, where: ast.AST,
+                      detail: str) -> None:
+        site = self._target_site(node)
+        if site is None:
+            return
+        classes, attr = site
+        self.facts.writes.append(
+            WriteRec(attr, classes, kind,
+                     getattr(where, "lineno", 1),
+                     getattr(where, "col_offset", 0) + 1, detail)
+        )
+
+    # -- statement walk ------------------------------------------------
+
+    def run(self) -> FuncFacts:
+        self._stmts(self.node.body)
+        return self.facts
+
+    def _stmts(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scopes are analyzed on their own
+        if isinstance(stmt, ast.Assign):
+            self._expr(stmt.value)
+            value = self.infer(stmt.value)
+            for target in stmt.targets:
+                self._assign_target(target, value, stmt)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+            value = self.infer(stmt.value) if stmt.value is not None else EnvEntry()
+            ann = _parse_annotation(self.program, stmt.annotation)
+            if ann:
+                value = EnvEntry(ann.union(value.tinfo), value.origins,
+                                 value.fresh)
+            self._assign_target(stmt.target, value, stmt,
+                                annotated=stmt.value is not None or bool(ann))
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._expr(stmt.value)
+            kind = "drain" if isinstance(
+                stmt.op, (ast.Sub, ast.FloorDiv, ast.Div, ast.RShift)
+            ) else "grow"
+            if isinstance(stmt.target, (ast.Attribute, ast.Subscript)):
+                self._record_write(stmt.target, kind, stmt,
+                                   _short_src(stmt))
+            return
+        if isinstance(stmt, ast.Delete):
+            return  # removing work cannot cause a missed wake
+        if isinstance(stmt, ast.Expr):
+            self._expr(stmt.value)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._expr(stmt.test)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+            return
+        if isinstance(stmt, ast.For):
+            self._expr(stmt.iter)
+            src = self.infer(stmt.iter)
+            elem = src.tinfo.elem if src.tinfo.elem is not None else _EMPTY
+            if isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = EnvEntry(elem, src.origins)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+            return
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._expr(item.context_expr)
+            self._stmts(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self._stmts(stmt.body)
+            for handler in stmt.handlers:
+                self._stmts(handler.body)
+            self._stmts(stmt.orelse)
+            self._stmts(stmt.finalbody)
+            return
+        if isinstance(stmt, (ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child)
+            return
+        # remaining statement kinds carry no wake-relevant effects
+
+    def _assign_target(self, target: ast.expr, value: EnvEntry,
+                       stmt: ast.stmt, annotated: bool = True) -> None:
+        program = self.program
+        if isinstance(target, ast.Name):
+            if annotated or value:
+                self.env[target.id] = value
+            return
+        if isinstance(target, ast.Tuple):
+            for elt in target.elts:
+                if isinstance(elt, ast.Name):
+                    elem = (value.tinfo.elem
+                            if value.tinfo.elem is not None else _EMPTY)
+                    self.env[elt.id] = EnvEntry(elem)
+            return
+        if isinstance(target, ast.Attribute):
+            base = self.infer(target.value)
+            # attribute-type collection: self.attr = <typed expr>
+            if (
+                self.collect_attr_types
+                and self.defcls is not None
+                and isinstance(target.value, ast.Name)
+                and target.value.id == self.self_name
+            ):
+                info = program.classes.get(self.defcls)
+                if info is not None and value.tinfo:
+                    prev = info.attr_types.get(target.attr, _EMPTY)
+                    info.attr_types[target.attr] = prev.union(value.tinfo)
+            # creation edges: <typed base>.attr = <freshly constructed>
+            if value.fresh:
+                for owner in base.tinfo.scalar:
+                    for created in _constructed_classes(value.tinfo):
+                        self.facts.creates.append((owner, created))
+            self._record_write(target, "assign", stmt, _short_src(stmt))
+            return
+        if isinstance(target, ast.Subscript):
+            self._record_write(target, "grow", stmt, _short_src(stmt))
+            return
+
+    # -- expression walk -----------------------------------------------
+
+    def _expr(self, node: ast.expr) -> None:
+        for call in _walk_exprs(node):
+            if isinstance(call, ast.Attribute) and isinstance(
+                call.ctx, ast.Load
+            ):
+                self._attribute_read(call)
+            elif isinstance(call, ast.Call):
+                self._call(call)
+
+    def _attribute_read(self, node: ast.Attribute) -> None:
+        base = self.infer(node.value)
+        if not base.tinfo.scalar:
+            return
+        self.facts.reads.append((base.tinfo.scalar, node.attr))
+        prop = self.program.is_property(base.tinfo.scalar, node.attr)
+        if prop is not None:
+            self.facts.calls.append(
+                CallRec(prop, getattr(node, "lineno", 1), False,
+                        ast.Call(func=node, args=[], keywords=[]))
+            )
+
+    def _call(self, node: ast.Call) -> None:
+        program = self.program
+        func = node.func
+        line = getattr(node, "lineno", 1)
+        if isinstance(func, ast.Name):
+            if func.id in program.classes:
+                callee = program.resolve_method(func.id, "__init__")
+                self.facts.calls.append(CallRec(callee, line, False, node))
+            elif func.id in _GROWING_FREE and node.args:
+                self._record_write(node.args[0], "grow", node,
+                                   _short_src(node))
+            else:
+                key = ("F", self.path, func.id)
+                if key in program.functions:
+                    self.facts.calls.append(CallRec(key, line, False, node))
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        meth = func.attr
+        recv = func.value
+        # super().m(...)
+        if (
+            isinstance(recv, ast.Call)
+            and isinstance(recv.func, ast.Name)
+            and recv.func.id == "super"
+            and self.defcls is not None
+        ):
+            callee = program.resolve_super(self.defcls, self.defcls, meth)
+            self.facts.calls.append(
+                CallRec(callee, line, False, node, via_super=meth)
+            )
+            return
+        if meth in _WAKE_METHODS:
+            self.facts.calls.append(CallRec(None, line, True, node))
+            return
+        if meth in _GROWING:
+            self._record_write(recv, "grow", node, _short_src(node))
+            return
+        if meth in _DRAINING:
+            self._record_write(recv, "drain", node, _short_src(node))
+            return
+        base = self.infer(recv)
+        via_self = (
+            meth
+            if isinstance(recv, ast.Name) and recv.id == self.self_name
+            else None
+        )
+        if base.tinfo.scalar:
+            for cls in sorted(base.tinfo.scalar):
+                callee = program.resolve_method(cls, meth)
+                if callee is not None:
+                    self.facts.calls.append(
+                        CallRec(callee, line, False, node, via_self=via_self)
+                    )
+
+
+def _is_static(node: ast.FunctionDef) -> bool:
+    return any(
+        _tail_name(d) in ("staticmethod", "classmethod")
+        for d in node.decorator_list
+    )
+
+
+def _constructed_classes(t: TInfo, depth: int = 0) -> set[str]:
+    out = set(t.scalar)
+    if t.elem is not None and depth < 3:
+        out |= _constructed_classes(t.elem, depth + 1)
+    return out
+
+
+def _walk_exprs(node: ast.expr) -> Iterator[ast.expr]:
+    """All expression nodes under ``node``, excluding nested scopes."""
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+            continue
+        if isinstance(current, ast.expr):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _short_src(node: ast.AST) -> str:
+    try:
+        text = ast.unparse(node)  # type: ignore[attr-defined]
+    except Exception:
+        return ""
+    text = text.strip().replace("\n", " ")
+    return text if len(text) <= 72 else text[:69] + "..."
+
+
+# ---------------------------------------------------------------------------
+# whole-program passes
+# ---------------------------------------------------------------------------
+
+
+def _build_attr_types(program: Program) -> None:
+    """Two sweeps so forward references between classes settle."""
+    # class-level annotations (dataclass fields)
+    for info in program.classes.values():
+        for node in info.node.body:
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                t = _parse_annotation(program, node.annotation)
+                if t:
+                    prev = info.attr_types.get(node.target.id, _EMPTY)
+                    info.attr_types[node.target.id] = prev.union(t)
+    for _sweep in range(2):
+        for info in program.classes.values():
+            for name, meth in info.methods.items():
+                _FuncAnalyzer(
+                    program, ("C", info.name, name), info.path, meth,
+                    collect_attr_types=True,
+                ).run()
+
+
+def _build_facts(program: Program) -> None:
+    for info in program.classes.values():
+        for name, meth in info.methods.items():
+            key: FuncKey = ("C", info.name, name)
+            program.facts[key] = _FuncAnalyzer(
+                program, key, info.path, meth
+            ).run()
+    for key, func in program.functions.items():
+        program.facts[key] = _FuncAnalyzer(
+            program, key, key[1], func
+        ).run()
+
+
+def _find_roots(program: Program) -> None:
+    roots = [
+        name for name, info in sorted(program.classes.items())
+        if any(_NAC in program.classes[c].methods for c in program.mro(name))
+    ]
+    program.roots = roots
+
+
+def _closure(program: Program, seeds: list[FuncKey], depth: int,
+             dyncls: str | None = None) -> set[FuncKey]:
+    """Call-graph closure from ``seeds``, bounded by ``depth``.
+
+    With ``dyncls``, calls through ``self``/``super()`` inside methods of
+    ``dyncls``'s own hierarchy re-resolve against ``dyncls`` (virtual
+    dispatch): ``TiledSwitch.step`` calling ``self._process_sideband()``
+    reaches ``StashingSwitch._process_sideband`` in the closure rooted at
+    ``StashingSwitch``.
+    """
+    dyn_mro = frozenset(program.mro(dyncls)) if dyncls is not None else frozenset()
+    seen: set[FuncKey] = set()
+    frontier = [k for k in seeds if k in program.facts]
+    seen.update(frontier)
+    for _ in range(depth):
+        nxt: list[FuncKey] = []
+        for key in frontier:
+            in_dyn = key[0] == "C" and key[1] in dyn_mro
+            for call in program.facts[key].calls:
+                callee = call.callee
+                if in_dyn and dyncls is not None:
+                    if call.via_self is not None:
+                        callee = (
+                            program.resolve_method(dyncls, call.via_self)
+                            or callee
+                        )
+                    elif call.via_super is not None:
+                        callee = (
+                            program.resolve_super(
+                                dyncls, key[1], call.via_super
+                            )
+                            or callee
+                        )
+                if callee is not None and callee not in seen:
+                    if callee in program.facts:
+                        seen.add(callee)
+                        nxt.append(callee)
+        if not nxt:
+            break
+        frontier = nxt
+    return seen
+
+
+def _build_relevance(program: Program) -> None:
+    relevant: dict[str, set[str]] = {}
+    relevant_roots: dict[tuple[str, str], set[str]] = {}
+    for root in program.roots:
+        nac_key = program.resolve_method(root, _NAC)
+        if nac_key is None:
+            continue
+        for key in _closure(program, [nac_key], _RELEVANCE_DEPTH,
+                            dyncls=root):
+            facts = program.facts.get(key)
+            if facts is None:
+                continue
+            for classes, attr in facts.reads:
+                for cls in classes:
+                    relevant.setdefault(cls, set()).add(attr)
+                    relevant_roots.setdefault((cls, attr), set()).add(root)
+    program.relevant = relevant
+    program.relevant_roots = relevant_roots
+
+
+def _build_clusters(program: Program) -> None:
+    # creation edges, program-wide
+    edges: dict[str, set[str]] = {}
+    for facts in program.facts.values():
+        for owner, created in facts.creates:
+            edges.setdefault(owner, set()).add(created)
+    clusters: dict[str, set[str]] = {}
+    for root in program.roots:
+        cluster = set(program.mro(root))
+        frontier = list(cluster)
+        while frontier:
+            cls = frontier.pop()
+            for created in edges.get(cls, ()):
+                for member in program.mro(created):
+                    if member not in cluster:
+                        cluster.add(member)
+                        frontier.append(member)
+        clusters[root] = cluster
+    # conduits: classes claimed by two unrelated roots
+    conduits: set[str] = set()
+    roots = program.roots
+    for i, r1 in enumerate(roots):
+        for r2 in roots[i + 1:]:
+            if program.related(r1, r2):
+                continue
+            for cls in clusters[r1] & clusters[r2]:
+                if not program.related(cls, r1) and not program.related(cls, r2):
+                    conduits.add(cls)
+    program.clusters = clusters
+    program.conduits = conduits
+
+
+def _build_reachability(program: Program) -> None:
+    any_step: set[FuncKey] = set()
+    step_safe: dict[str, set[FuncKey]] = {}
+    for root in program.roots:
+        seeds = []
+        step_key = program.resolve_method(root, "step")
+        if step_key is not None:
+            seeds.append(step_key)
+        reach = (
+            _closure(program, seeds, _REACH_DEPTH, dyncls=root)
+            if seeds else set()
+        )
+        step_safe[root] = reach
+        any_step |= reach
+    # components without next_active_cycle are stepped every cycle; their
+    # step closures still count as "during a step" for *their own* state,
+    # but they own no wake-relevant state, so only the union matters for
+    # the construction-only test
+    for info in program.classes.values():
+        if "step" in info.methods and info.name not in step_safe:
+            any_step |= _closure(
+                program, [("C", info.name, "step")], _REACH_DEPTH,
+                dyncls=info.name,
+            )
+    # constructor reachability per concrete class, so a parent __init__
+    # calling an overridden helper still exempts the subclass override
+    ctor_reachable: set[FuncKey] = set()
+    for name in program.classes:
+        seeds = []
+        for m in _CTOR_METHODS:
+            key = program.resolve_method(name, m)
+            if key is not None:
+                seeds.append(key)
+        if seeds:
+            ctor_reachable |= _closure(
+                program, seeds, _REACH_DEPTH, dyncls=name
+            )
+    program.step_safe = step_safe
+    program.any_step = any_step
+    program.ctor_reachable = ctor_reachable
+
+
+def _build_wakeish(program: Program) -> None:
+    """Functions that (transitively, within two levels) issue a wake."""
+    direct = {
+        key for key, facts in program.facts.items()
+        if any(c.direct_wake for c in facts.calls)
+    }
+    wakeish = set(direct)
+    for _ in range(_WAKEISH_DEPTH):
+        added = {
+            key for key, facts in program.facts.items()
+            if key not in wakeish and any(
+                c.callee in wakeish for c in facts.calls
+            )
+        }
+        if not added:
+            break
+        wakeish |= added
+    program.wakeish = wakeish
+
+
+# ---------------------------------------------------------------------------
+# write classification
+# ---------------------------------------------------------------------------
+
+
+def _relevant_match(program: Program, write: WriteRec) -> str | None:
+    """The registered wake-relevant class this write hits, or None."""
+    for cls in sorted(write.classes):
+        for reg_cls, attrs in program.relevant.items():
+            if write.attr in attrs and program.related(cls, reg_cls):
+                return reg_cls
+    return None
+
+
+def _owning_roots(program: Program, cls: str) -> list[str]:
+    return [
+        root for root in program.roots
+        if cls in program.clusters.get(root, ())
+    ]
+
+
+def _wake_lines(program: Program, facts: FuncFacts) -> list[int]:
+    return sorted(
+        c.line for c in facts.calls
+        if c.direct_wake or (c.callee is not None and c.callee in program.wakeish)
+    )
+
+
+def _classify_writes(program: Program) -> list[Violation]:
+    violations: list[Violation] = []
+    for key, facts in sorted(program.facts.items()):
+        if not facts.writes:
+            continue
+        in_ctor = key[0] == "C" and key[2] in _CTOR_METHODS
+        ctor_only = (
+            facts.key in program.ctor_reachable
+            and facts.key not in program.any_step
+        )
+        wake_lines = None
+        for write in facts.writes:
+            if write.kind == "drain":
+                continue
+            reg_cls = _relevant_match(program, write)
+            if reg_cls is None:
+                continue
+            if in_ctor or ctor_only:
+                continue
+            # during the owner's own step, the kernel re-arms via
+            # next_active_cycle right after — unless the class is shared
+            # state between unrelated components (a conduit)
+            if reg_cls not in program.conduits and any(
+                facts.key in program.step_safe.get(root, ())
+                for root in _owning_roots(program, reg_cls)
+            ):
+                continue
+            if wake_lines is None:
+                wake_lines = _wake_lines(program, facts)
+            if any(line >= write.line for line in wake_lines):
+                continue
+            roots = sorted(
+                program.relevant_roots.get((reg_cls, write.attr), ())
+            )
+            violations.append(
+                Violation(
+                    "WAKE001",
+                    facts.path,
+                    write.line,
+                    write.col,
+                    f"write to wake-relevant {reg_cls}.{write.attr} "
+                    f"(read by next_active_cycle of {', '.join(roots)}) "
+                    f"with no paired wake: `{write.detail}` — add a "
+                    "Simulator.wake/wake_component at the new work's "
+                    "cycle, or annotate `# wakecheck: ok(<reason>)`",
+                )
+            )
+    return violations
+
+
+def _check_stale_wakes(program: Program) -> list[Violation]:
+    violations: list[Violation] = []
+    for key, facts in sorted(program.facts.items()):
+        for call in facts.calls:
+            if not call.direct_wake or len(call.node.args) < 2:
+                continue
+            cycle_arg = call.node.args[1]
+            stale = False
+            if (
+                isinstance(cycle_arg, ast.BinOp)
+                and isinstance(cycle_arg.op, ast.Sub)
+                and isinstance(cycle_arg.right, ast.Constant)
+                and isinstance(cycle_arg.right.value, (int, float))
+                and cycle_arg.right.value > 0
+            ):
+                stale = True
+            if (
+                isinstance(cycle_arg, ast.UnaryOp)
+                and isinstance(cycle_arg.op, ast.USub)
+            ) or (
+                isinstance(cycle_arg, ast.Constant)
+                and isinstance(cycle_arg.value, int)
+                and cycle_arg.value < 0
+            ):
+                stale = True
+            if stale:
+                violations.append(
+                    Violation(
+                        "WAKE002",
+                        facts.path,
+                        call.line,
+                        getattr(call.node, "col_offset", 0) + 1,
+                        f"wake scheduled behind the current cycle: "
+                        f"`{_short_src(call.node)}`; Simulator.wake "
+                        "raises on cycles earlier than sim.cycle",
+                    )
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Suppression:
+    path: str
+    line: int
+    reason: str
+    rule_id: str
+
+    def to_json(self) -> dict[str, object]:
+        return {"path": self.path, "line": self.line,
+                "reason": self.reason, "rule": self.rule_id}
+
+
+def _apply_suppressions(
+    program: Program, violations: list[Violation]
+) -> tuple[list[Violation], list[Suppression], list[Violation]]:
+    ok_lines: dict[str, dict[int, str]] = {}
+    for rel, source in program.sources.items():
+        lines: dict[int, str] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _OK_RE.search(text)
+            if match is not None:
+                lines[lineno] = match.group(1).strip()
+        if lines:
+            ok_lines[rel] = lines
+    kept: list[Violation] = []
+    used: list[Suppression] = []
+    bad: list[Violation] = []
+    for violation in violations:
+        reason = ok_lines.get(violation.path, {}).get(violation.line)
+        if reason is None:
+            kept.append(violation)
+        elif not reason:
+            bad.append(
+                Violation(
+                    violation.rule_id, violation.path, violation.line,
+                    violation.col,
+                    "suppression without a reason: write it as "
+                    "`# wakecheck: ok(<why the wake is guaranteed>)`",
+                )
+            )
+        else:
+            used.append(
+                Suppression(violation.path, violation.line, reason,
+                            violation.rule_id)
+            )
+    return kept + bad, used, bad
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Report:
+    """Everything one analysis run produced."""
+
+    program: Program
+    violations: list[Violation]
+    suppressions: list[Suppression]
+    files_checked: int
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_VIOLATIONS if self.violations else EXIT_CLEAN
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise WakecheckError(f"{path}: not a Python file or directory")
+
+
+def analyze_paths(paths: Sequence[Path]) -> Report:
+    """Run the whole-program analysis over every ``.py`` under ``paths``."""
+    program = Program()
+    count = 0
+    for file_path in _iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise WakecheckError(f"{file_path}: {exc}")
+        program.add_module(file_path, source)
+        count += 1
+    if count == 0:
+        raise WakecheckError("no Python files found under the given paths")
+    _build_attr_types(program)
+    _build_facts(program)
+    _find_roots(program)
+    _build_relevance(program)
+    _build_clusters(program)
+    _build_reachability(program)
+    _build_wakeish(program)
+    violations = _classify_writes(program) + _check_stale_wakes(program)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    violations, suppressions, _bad = _apply_suppressions(program, violations)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return Report(program, violations, suppressions, count)
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def _render_text(report: Report) -> str:
+    lines = [v.render() for v in report.violations]
+    by_rule: dict[str, int] = {}
+    for v in report.violations:
+        by_rule[v.rule_id] = by_rule.get(v.rule_id, 0) + 1
+    summary = ", ".join(f"{rid}: {n}" for rid, n in sorted(by_rule.items()))
+    program = report.program
+    relevant_count = sum(len(a) for a in program.relevant.values())
+    lines.append(
+        f"wakecheck: {len(report.violations)} violation(s) in "
+        f"{report.files_checked} file(s)"
+        + (f" [{summary}]" if summary else "")
+        + f"; {len(program.roots)} component root(s), "
+        f"{relevant_count} wake-relevant attribute(s), "
+        f"{len(report.suppressions)} suppression(s)"
+    )
+    for sup in report.suppressions:
+        lines.append(
+            f"  suppressed {sup.path}:{sup.line} [{sup.rule_id}]: {sup.reason}"
+        )
+    return "\n".join(lines)
+
+
+def _render_json(report: Report) -> str:
+    program = report.program
+    by_rule: dict[str, int] = {}
+    for v in report.violations:
+        by_rule[v.rule_id] = by_rule.get(v.rule_id, 0) + 1
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "files_checked": report.files_checked,
+        "total": len(report.violations),
+        "by_rule": by_rule,
+        "roots": program.roots,
+        "conduits": sorted(program.conduits),
+        "wake_relevant": {
+            cls: sorted(attrs)
+            for cls, attrs in sorted(program.relevant.items())
+        },
+        "suppressions": [s.to_json() for s in report.suppressions],
+        "violations": [v.to_json() for v in report.violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_ANNOTATE_BEGIN = "<!-- wakecheck:begin (generated; do not edit by hand) -->"
+_ANNOTATE_END = "<!-- wakecheck:end -->"
+
+
+def render_annotation(report: Report) -> str:
+    """The generated wake-contract section for docs/WAKE_CONTRACT.md."""
+    program = report.program
+    lines = [
+        _ANNOTATE_BEGIN,
+        "",
+        "Regenerate with "
+        "`python -m repro.devtools.wakecheck --annotate docs/WAKE_CONTRACT.md src/`.",
+        "",
+        "### Component roots",
+        "",
+    ]
+    for root in program.roots:
+        cluster = sorted(
+            c for c in program.clusters.get(root, ()) if c != root
+        )
+        lines.append(
+            f"- **{root}** — owns: "
+            + (", ".join(cluster) if cluster else "(nothing)")
+        )
+    lines += ["", "### Conduit classes (always need explicit wakes)", ""]
+    if program.conduits:
+        for cls in sorted(program.conduits):
+            lines.append(f"- `{cls}`")
+    else:
+        lines.append("- (none)")
+    lines += ["", "### Wake-relevant attributes", "",
+              "| Class | Attribute | Read by `next_active_cycle` of |",
+              "| --- | --- | --- |"]
+    for cls, attrs in sorted(program.relevant.items()):
+        for attr in sorted(attrs):
+            roots = sorted(program.relevant_roots.get((cls, attr), ()))
+            lines.append(f"| `{cls}` | `{attr}` | {', '.join(roots)} |")
+    lines += ["", "### Active suppressions", ""]
+    if report.suppressions:
+        for sup in report.suppressions:
+            lines.append(f"- `{sup.path}:{sup.line}` — {sup.reason}")
+    else:
+        lines.append("- (none)")
+    lines += ["", _ANNOTATE_END]
+    return "\n".join(lines)
+
+
+def _write_annotation(report: Report, doc_path: Path) -> None:
+    section = render_annotation(report)
+    if doc_path.exists():
+        text = doc_path.read_text(encoding="utf-8")
+        begin = text.find(_ANNOTATE_BEGIN)
+        end = text.find(_ANNOTATE_END)
+        if begin != -1 and end != -1:
+            text = text[:begin] + section + text[end + len(_ANNOTATE_END):]
+        else:
+            text = text.rstrip() + "\n\n" + section + "\n"
+    else:
+        text = "# Wake contract (generated)\n\n" + section + "\n"
+    doc_path.write_text(text, encoding="utf-8")
+
+
+def _render_rule_table() -> str:
+    lines = []
+    for rule in RULES:
+        lines.append(f"{rule.rule_id}  {rule.name}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.wakecheck",
+        description="whole-program wake-soundness analyzer (event kernel)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories forming one program (e.g. src/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--annotate",
+        metavar="DOC",
+        help="write the inferred wake-relevant sets into DOC between "
+        "the wakecheck markers (docs/WAKE_CONTRACT.md)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_render_rule_table())
+        return EXIT_CLEAN
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("wakecheck: error: no paths given", file=sys.stderr)
+        return EXIT_ERROR
+
+    try:
+        report = analyze_paths([Path(p) for p in args.paths])
+    except WakecheckError as exc:
+        print(f"wakecheck: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.annotate:
+        _write_annotation(report, Path(args.annotate))
+        print(f"wakecheck: wrote contract section to {args.annotate}")
+
+    renderer = _render_json if args.format == "json" else _render_text
+    print(renderer(report))
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

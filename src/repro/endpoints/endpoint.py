@@ -29,6 +29,7 @@ from repro.switch.flit import Message, Packet, PacketKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network import Network
+    from repro.traffic.generators import TrafficSource
 
 __all__ = ["Endpoint"]
 
@@ -100,7 +101,7 @@ class Endpoint:
         )
         self.acks_enabled = network.acks_enabled
         self._pending_acks: dict[int, tuple[int, int]] = {}  # pid -> (dst, size)
-        self.sources: list = []
+        self.sources: list[TrafficSource] = []
 
         self.flits_generated = 0
         self.flits_injected = 0

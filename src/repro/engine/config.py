@@ -313,6 +313,12 @@ class SimParams:
     ``"polling"`` steps everything every cycle.  The two are
     byte-identical (see docs/PERFORMANCE.md); polling is the escape
     hatch / reference.
+
+    ``verify_wake`` enables the event kernel's wake-contract shadow
+    check: sleeping components are re-probed every executed cycle and a
+    missed wake raises :class:`repro.engine.simulator.WakeContractError`
+    (docs/WAKE_CONTRACT.md).  Debug/fuzz only — it restores the polling
+    kernel's per-cycle cost.
     """
 
     seed: int = 1
@@ -321,6 +327,7 @@ class SimParams:
     drain_cycles: int = 20000
     sample_period: int = 100
     kernel: str = "event"
+    verify_wake: bool = False
 
     def __post_init__(self) -> None:
         if min(self.warmup_cycles, self.measure_cycles, self.sample_period) < 0:

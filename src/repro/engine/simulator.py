@@ -35,10 +35,11 @@ cycle number, not by a second clock domain here.
 from __future__ import annotations
 
 from bisect import insort
+from collections import deque
 from heapq import heappop, heappush
 from typing import Callable, Protocol
 
-__all__ = ["Component", "Simulator"]
+__all__ = ["Component", "Simulator", "WakeContractError"]
 
 #: sleeping with no self-scheduled wake (only an external wake revives)
 _NEVER = 1 << 62
@@ -55,13 +56,45 @@ class Component(Protocol):
         ...
 
 
+class WakeContractError(RuntimeError):
+    """A sleeping component turned out to have work earlier than its
+    declared wake cycle: some mutation of its wake-relevant state was not
+    paired with a :meth:`Simulator.wake`.  Raised only under
+    ``Simulator(verify_wake=True)`` (docs/WAKE_CONTRACT.md)."""
+
+
+def _pending_state(component: Component) -> str:
+    """Names and sizes of the component's non-empty containers — the
+    attribute context for a wake-contract violation report."""
+    names: list[str] = []
+    for klass in type(component).__mro__:
+        names.extend(getattr(klass, "__slots__", ()))
+    if not names:
+        names = list(getattr(component, "__dict__", {}))
+    parts: list[str] = []
+    for name in names:
+        try:
+            value = getattr(component, name)
+        except AttributeError:
+            continue
+        if isinstance(value, (list, deque, dict, set, frozenset)) and value:
+            parts.append(f"{name}[{len(value)}]")
+        if len(parts) >= 8:
+            break
+    return ", ".join(parts) if parts else "(no non-empty containers)"
+
+
 class Simulator:
     """Owns global time and the ordered component list."""
 
-    def __init__(self, kernel: str = "event") -> None:
+    def __init__(self, kernel: str = "event", verify_wake: bool = False) -> None:
         if kernel not in ("polling", "event"):
             raise ValueError(f"unknown kernel {kernel!r}")
         self.kernel = kernel
+        #: shadow mode: re-probe sleeping components' next_active_cycle on
+        #: every executed cycle and raise WakeContractError on a missed
+        #: wake.  Debug-only; the event kernel pays nothing when False.
+        self.verify_wake = verify_wake
         self.cycle = 0
         self._components: list[Component] = []
         self._samplers: list[tuple[int, int, Callable[[int], None]]] = []
@@ -90,9 +123,19 @@ class Simulator:
     def wake(self, idx: int, cycle: int) -> None:
         """Schedule component ``idx`` to step at ``cycle`` (or earlier if
         already scheduled sooner).  No-op for active components and under
-        the polling kernel (everything is always stepped there)."""
+        the polling kernel (everything is always stepped there).
+
+        ``cycle`` must not be earlier than the current cycle: a stale
+        wake means the caller discovered work the target should already
+        have processed — a wake-contract violation (wakecheck WAKE002),
+        not something to silently clamp.
+        """
         if cycle < self.cycle:
-            cycle = self.cycle
+            raise ValueError(
+                f"stale wake: component {idx} woken for cycle {cycle}, "
+                f"behind the current cycle {self.cycle} (wake-contract "
+                "violation; see docs/WAKE_CONTRACT.md)"
+            )
         status = self._status
         if status[idx] <= cycle:  # _ACTIVE, or an equal/earlier wake
             return
@@ -186,6 +229,7 @@ class Simulator:
         active = self._active
         heap = self._heap
         samplers = self._samplers
+        verify = self.verify_wake
         while self.cycle < end:
             cycle = self.cycle
             while heap and heap[0][0] <= cycle:
@@ -221,6 +265,8 @@ class Simulator:
                 if demoted is not None:
                     drop = set(demoted)
                     active[:] = [i for i in active if i not in drop]
+            if verify:
+                self._verify_sleepers(cycle)
             self.cycle = cycle + 1
             if until is not None and until():
                 return True
@@ -239,3 +285,36 @@ class Simulator:
                 if target > now:
                     self.cycle = target
         return False
+
+    def _verify_sleepers(self, cycle: int) -> None:
+        """Shadow check (``verify_wake=True``): every sleeping component's
+        ``next_active_cycle``, re-evaluated now, must not be earlier than
+        the wake it declared when it went to sleep.  If it is, some state
+        mutation since then was not paired with a wake, and the component
+        would have slept through real work."""
+        nacs = self._nac
+        components = self._components
+        for idx, declared in enumerate(self._status):
+            if declared <= cycle + 1:
+                continue  # active, or due at the very next cycle anyway
+            nac = nacs[idx]
+            if nac is None:
+                continue
+            fresh = nac(cycle)
+            if fresh is not None and fresh < declared:
+                component = components[idx]
+                declared_text = (
+                    "never (external wake only)"
+                    if declared >= _NEVER else f"cycle {declared}"
+                )
+                raise WakeContractError(
+                    f"missed wake at cycle {cycle}: "
+                    f"{type(component).__name__} (component #{idx}) "
+                    f"declared its next work at {declared_text}, but "
+                    f"next_active_cycle({cycle}) now reports {fresh}; "
+                    f"pending state: {_pending_state(component)}. "
+                    "A mutation of its wake-relevant state was not paired "
+                    "with Simulator.wake — run "
+                    "`python -m repro.devtools.wakecheck src/` "
+                    "(docs/WAKE_CONTRACT.md)."
+                )

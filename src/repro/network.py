@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.endpoints.endpoint import Endpoint
 from repro.engine.channel import Channel, CreditChannel
@@ -38,6 +39,9 @@ from repro.switch.tiled_switch import TiledSwitch
 from repro.topology.dragonfly import DragonflyTopology
 from repro.topology.single_switch import SingleSwitchTopology
 from repro.topology.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.traffic.generators import BernoulliSource, TrafficSource
 
 __all__ = ["Network", "RunResult"]
 
@@ -99,7 +103,10 @@ class Network:
         self._next_msg = 0
         self.messages: dict[int, Message] = {}
 
-        self.sim = Simulator(kernel=config.sim.kernel)
+        self.sim = Simulator(
+            kernel=config.sim.kernel,
+            verify_wake=config.sim.verify_wake,
+        )
         self.switches = self._build_switches()
         self.endpoints = [
             Endpoint(n, self, self.rng.stream(f"endpoint:{n}"))
@@ -124,7 +131,7 @@ class Network:
         self._meas_born = 0
         self._meas_delivered = 0
         self.total_data_packets_delivered = 0
-        self.on_packet_delivered_hooks: list = []
+        self.on_packet_delivered_hooks: list[Callable[[Packet, int], None]] = []
 
         # observability (repro.obs): both stay None unless enabled in the
         # config, so the emit guards in the hot paths cost one attribute
@@ -315,14 +322,25 @@ class Network:
     # traffic helpers
     # ------------------------------------------------------------------
 
-    def add_source(self, source, nodes=None) -> None:
+    def add_source(
+        self, source: "TrafficSource", nodes: Iterable[int] | None = None
+    ) -> None:
         """Attach a traffic source to ``nodes`` (default: all)."""
-        targets = range(len(self.endpoints)) if nodes is None else nodes
+        targets: Iterable[int] = (
+            range(len(self.endpoints)) if nodes is None else nodes
+        )
         for n in targets:
-            self.endpoints[n].sources.append(source)
+            ep = self.endpoints[n]
+            ep.sources.append(source)
+            # a sleeping endpoint must re-evaluate next_active_cycle now
+            # that it has a new source to poll
+            self.sim.wake_component(ep, self.sim.cycle)
 
-    def add_uniform_traffic(self, rate: float, msg_flits: int | None = None,
-                            nodes=None, start: int = 0, stop: int | None = None):
+    def add_uniform_traffic(
+        self, rate: float, msg_flits: int | None = None,
+        nodes: Iterable[int] | None = None, start: int = 0,
+        stop: int | None = None,
+    ) -> "BernoulliSource":
         from repro.traffic.generators import BernoulliSource
         from repro.traffic.patterns import uniform_random
 
@@ -338,7 +356,7 @@ class Network:
         self.add_source(src, nodes)
         return src
 
-    def track_group(self, name: str, nodes) -> None:
+    def track_group(self, name: str, nodes: Iterable[int]) -> None:
         """Collect a separate latency distribution for packets sourced by
         ``nodes`` (e.g. victim vs aggressor traffic)."""
         self._group_nodes[name] = frozenset(nodes)

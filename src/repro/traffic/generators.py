@@ -9,14 +9,37 @@ the message size while average demand stays saturated.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol
 
 from repro.traffic.patterns import Pattern
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.endpoints.endpoint import Endpoint
 
-__all__ = ["BernoulliSource", "BurstSource"]
+__all__ = ["BernoulliSource", "BurstSource", "TrafficSource"]
+
+
+class TrafficSource(Protocol):
+    """Structural interface every injection process implements.
+
+    ``Endpoint`` polls ``active``/``generate`` each cycle it runs and
+    consults ``next_active_cycle`` when deciding whether it may sleep, so
+    a source's schedule participates in the wake contract
+    (docs/WAKE_CONTRACT.md): the answer must be a pure function of the
+    source's current state.
+    """
+
+    def active(self, cycle: int) -> bool:
+        """True when the source may inject at ``cycle``."""
+        ...
+
+    def next_active_cycle(self, cycle: int) -> int | None:
+        """Earliest cycle > ``cycle`` with work, or None to idle."""
+        ...
+
+    def generate(self, endpoint: "Endpoint", cycle: int) -> None:
+        """Inject this cycle's traffic into ``endpoint``."""
+        ...
 
 
 class BernoulliSource:

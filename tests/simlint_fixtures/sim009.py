@@ -1,0 +1,39 @@
+# SIM009 fixture: foreign writes to wake-relevant state through a
+# parameter.  Owner-side writes (through self) stay silent.
+from collections import deque
+
+
+class Port:
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+        self.credits = 0
+        self._blocked = False
+
+    def enqueue(self, item) -> None:
+        self._queue.append(item)  # owner's own method: fine
+
+    def next_active_cycle(self, cycle):
+        return cycle + 1 if self._queue else None
+
+
+def return_credit(port: Port) -> None:
+    port.credits += 1  # expect: SIM009
+
+
+def unblock(port: Port) -> None:
+    port._blocked = False  # expect: SIM009
+
+
+def stuff(port: Port, item) -> None:
+    port._queue.append(item)  # expect: SIM009
+
+
+class Router:
+    def __init__(self) -> None:
+        self.staging = []
+
+    def forward(self, port: Port, item) -> None:
+        port._queue.append(item)  # expect: SIM009
+
+    def keep_local(self, item) -> None:
+        self.staging.append(item)  # self-rooted: fine

@@ -1,0 +1,36 @@
+# SIM010 fixture: next_active_cycle must be a pure read — no RNG draws,
+# no state mutation.  Local scratch variables stay silent.
+
+
+class LazyCache:
+    def __init__(self, rng) -> None:
+        self.rng = rng
+        self.pending = []
+        self._cached = None
+
+    def step(self, cycle: int) -> None:
+        self.pending.clear()
+
+    def next_active_cycle(self, cycle):
+        self._cached = cycle  # expect: SIM010
+        if self.rng.random() < 0.5:  # expect: SIM010
+            return cycle + 1
+        self.pending.pop()  # expect: SIM010
+        return None
+
+
+class Jittered:
+    def __init__(self, rng) -> None:
+        self.rng = rng
+
+    def next_active_cycle(self, cycle):
+        return cycle + self.rng.randrange(1, 4)  # expect: SIM010
+
+
+class Pure:
+    def __init__(self) -> None:
+        self.backlog = []
+
+    def next_active_cycle(self, cycle):
+        nxt = cycle + 1  # local scratch: fine
+        return nxt if self.backlog else None

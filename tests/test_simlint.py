@@ -61,6 +61,8 @@ FIXTURE_FILES = [
     "sim006.py",
     "analysis/sim007.py",
     "engine/sim008.py",
+    "sim009.py",
+    "sim010.py",
 ]
 
 

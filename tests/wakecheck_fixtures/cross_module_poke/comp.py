@@ -1,0 +1,17 @@
+"""Fixture module: a component whose pending queue decides its wake."""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class Comp:
+    def __init__(self) -> None:
+        self.pending: deque = deque()
+
+    def step(self, cycle: int) -> None:
+        while self.pending:
+            self.pending.popleft()
+
+    def next_active_cycle(self, cycle: int) -> int | None:
+        return cycle + 1 if self.pending else None

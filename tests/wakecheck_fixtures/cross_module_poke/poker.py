@@ -1,0 +1,10 @@
+"""Fixture module: cross-module poke into another component's
+wake-relevant state, with no wake (and no owning method to issue one)."""
+
+from __future__ import annotations
+
+from comp import Comp
+
+
+def poke(comp: Comp, item: int) -> None:
+    comp.pending.append(item)  # expect: WAKE001

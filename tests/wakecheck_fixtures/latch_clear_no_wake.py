@@ -1,0 +1,41 @@
+"""Fixture: missing wake after a latch clear.
+
+``Port`` latches ``_blocked`` and sleeps on it (the quiescence-latch
+idiom).  ``CreditManager`` clears the latch from its own step but never
+wakes the port — the port stays asleep with runnable work.
+
+``Port.step`` setting its *own* latch is fine (the kernel re-arms via
+``next_active_cycle`` right after the owner's step) and must not flag.
+"""
+
+from __future__ import annotations
+
+
+class Port:
+    def __init__(self) -> None:
+        self._blocked = False
+        self.buffered = 0
+
+    def step(self, cycle: int) -> None:
+        if not self._blocked and self.buffered > 0:
+            self.buffered -= 1
+            self._blocked = True
+
+    def next_active_cycle(self, cycle: int) -> int | None:
+        if self._blocked or self.buffered == 0:
+            return None
+        return cycle + 1
+
+
+class CreditManager:
+    def __init__(self, port: Port) -> None:
+        self.port = port
+
+    def apply_credit(self, cycle: int) -> None:
+        self.port._blocked = False  # expect: WAKE001
+
+    def step(self, cycle: int) -> None:
+        self.apply_credit(cycle)
+
+    def next_active_cycle(self, cycle: int) -> int | None:
+        return cycle + 1

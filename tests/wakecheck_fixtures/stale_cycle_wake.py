@@ -1,0 +1,19 @@
+"""Fixture: wakes scheduled syntactically behind the current cycle.
+
+``Simulator.wake`` raises on a stale cycle at runtime; wakecheck flags
+the pattern statically (WAKE002).
+"""
+
+from __future__ import annotations
+
+
+class Retirer:
+    def __init__(self, sim, peer_idx: int) -> None:
+        self.sim = sim
+        self.peer_idx = peer_idx
+
+    def retire(self, cycle: int) -> None:
+        self.sim.wake(self.peer_idx, cycle - 2)  # expect: WAKE002
+
+    def requeue(self, cycle: int) -> None:
+        self.sim.wake(self.peer_idx, -1)  # expect: WAKE002

@@ -1,0 +1,27 @@
+"""Fixture: a justified suppression.
+
+The write would be WAKE001, but the ``# wakecheck: ok(<reason>)``
+annotation documents why the wake is guaranteed elsewhere — the file
+must analyze clean with exactly one recorded suppression.
+"""
+
+from __future__ import annotations
+
+
+class Gate:
+    def __init__(self) -> None:
+        self.armed = False
+
+    def step(self, cycle: int) -> None:
+        self.armed = False
+
+    def next_active_cycle(self, cycle: int) -> int | None:
+        return cycle + 1 if self.armed else None
+
+
+class Arm:
+    def __init__(self, gate: Gate) -> None:
+        self.gate = gate
+
+    def fire(self, cycle: int) -> None:
+        self.gate.armed = True  # wakecheck: ok(every caller wakes the gate at this cycle)

@@ -1,0 +1,60 @@
+"""Fixture: unwoken channel write.
+
+``Chan`` is a conduit — constructed into the attribute graphs of two
+unrelated component roots — so a grow on its queue always needs a paired
+wake.  ``Chan.send`` has none: the consumer can sleep through delivery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class Chan:
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+
+    def send(self, item: int) -> None:
+        self._queue.append(item)  # expect: WAKE001
+
+    @property
+    def next_deadline(self) -> int | None:
+        return self._queue[0] if self._queue else None
+
+
+class Producer:
+    def __init__(self) -> None:
+        self.out: Chan | None = None
+
+    def step(self, cycle: int) -> None:
+        if self.out is not None:
+            self.out.send(cycle + 1)
+
+    def next_active_cycle(self, cycle: int) -> int | None:
+        return cycle + 1
+
+
+class Consumer:
+    def __init__(self) -> None:
+        self.inp: Chan | None = None
+
+    def step(self, cycle: int) -> None:
+        if self.inp is not None and self.inp._queue:
+            self.inp._queue.popleft()
+
+    def next_active_cycle(self, cycle: int) -> int | None:
+        if self.inp is None:
+            return None
+        return self.inp.next_deadline
+
+
+class Wiring:
+    """Assembly object (not a component): owns both roots and threads
+    one shared channel between them, making ``Chan`` a conduit."""
+
+    def __init__(self) -> None:
+        self.producer = Producer()
+        self.consumer = Consumer()
+        ch = Chan()
+        self.producer.out = ch
+        self.consumer.inp = ch

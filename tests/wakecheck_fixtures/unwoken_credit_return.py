@@ -1,0 +1,35 @@
+"""Fixture: unwoken credit return.
+
+``Upstream`` sleeps when it has no credits; ``Downstream`` returns a
+credit by bumping the counter directly and never wakes it, so the new
+sending opportunity is missed.
+"""
+
+from __future__ import annotations
+
+
+class Upstream:
+    def __init__(self) -> None:
+        self.credits = 0
+        self.backlog: list[int] = []
+
+    def step(self, cycle: int) -> None:
+        if self.credits > 0 and self.backlog:
+            self.credits -= 1
+            self.backlog.pop()
+
+    def next_active_cycle(self, cycle: int) -> int | None:
+        if self.credits > 0 and self.backlog:
+            return cycle + 1
+        return None
+
+
+class Downstream:
+    def __init__(self, up: Upstream) -> None:
+        self.up = up
+
+    def step(self, cycle: int) -> None:
+        self.up.credits += 1  # expect: WAKE001
+
+    def next_active_cycle(self, cycle: int) -> int | None:
+        return cycle + 1

@@ -1,0 +1,37 @@
+"""Fixture: unwoken append through a local alias.
+
+``Feeder`` grabs a reference to the sink's queue and appends through the
+alias — the analyzer must track the alias back to ``Sink._queue`` and
+still demand a wake.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class Sink:
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+
+    def step(self, cycle: int) -> None:
+        if self._queue:
+            self._queue.popleft()
+
+    def next_active_cycle(self, cycle: int) -> int | None:
+        return cycle + 1 if self._queue else None
+
+
+class Feeder:
+    def __init__(self, sink: Sink) -> None:
+        self.sink = sink
+
+    def deliver(self, item: int) -> None:
+        q = self.sink._queue
+        q.append(item)  # expect: WAKE001
+
+    def step(self, cycle: int) -> None:
+        self.deliver(cycle)
+
+    def next_active_cycle(self, cycle: int) -> int | None:
+        return cycle + 1
