@@ -101,8 +101,20 @@ def _fig9_specs(base) -> list[RunSpec]:
                       variants=("baseline", "stash100"))
 
 
+def _fig5_flow_specs(base) -> list[RunSpec]:
+    """The same fig5 slice through the flow-level fastpath.  Its
+    cycles/sec dwarfs the cycle kernel's by design; the artifact records
+    it so the speedup claim in docs/FASTPATH.md stays measured, and the
+    CI gate catches the fastpath itself regressing."""
+    from repro.experiments.fig5 import fig5_specs
+
+    return fig5_specs(base, loads=(0.2, 0.5),
+                      variants=("baseline", "stash100"), engine="flow")
+
+
 _FIGURES: dict[str, Callable[[Any], list[RunSpec]]] = {
     "fig5": _fig5_specs,
+    "fig5_flow": _fig5_flow_specs,
     "fig7": _fig7_specs,
     "fig9": _fig9_specs,
 }

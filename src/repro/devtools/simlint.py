@@ -172,6 +172,8 @@ WALL_CLOCK_WHITELIST: dict[str, frozenset[str]] = {
     "parallel": frozenset({"perf_counter"}),
     # the perf-trajectory benchmark exists to measure wall-clock
     "bench_trajectory": frozenset({"perf_counter"}),
+    # engine cross-validation reports the cycle-vs-flow speedup
+    "crosscheck": frozenset({"perf_counter"}),
 }
 
 #: attribute names treated as wall-clock reads on the ``time`` module

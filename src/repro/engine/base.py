@@ -1,0 +1,178 @@
+"""The two-speed engine interface.
+
+An :class:`Engine` consumes a :class:`repro.scenario.ScenarioSpec` and
+produces an :class:`EngineResult` — the shared stats schema both speeds
+emit.  Two implementations exist:
+
+* :class:`CycleEngine` (``"cycle"``) adapts the existing cycle-accurate
+  :class:`repro.network.Network` + :class:`repro.engine.simulator.
+  Simulator`; it is the reference and the only engine that models the
+  switch microarchitecture.
+* :class:`repro.engine.fastpath.FlowEngine` (``"flow"``) solves a
+  fluid max-min-fair bandwidth allocation over the same topology graph
+  — orders of magnitude faster, validated against the cycle engine by
+  :mod:`repro.analysis.crosscheck` (tolerances in docs/FASTPATH.md).
+
+Select by name with :func:`get_engine`; the experiment runner threads
+``--engine cycle|flow`` straight through here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenario.spec import ScenarioSpec
+
+__all__ = [
+    "CycleEngine",
+    "Engine",
+    "EngineResult",
+    "EngineUnsupported",
+    "GroupStats",
+    "get_engine",
+]
+
+
+class EngineUnsupported(RuntimeError):
+    """The selected engine cannot run this experiment/scenario."""
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Latency summary for one tracked traffic group (e.g. ``victim``)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    def percentile(self, pct: float) -> float:
+        """The pre-computed percentile closest to the query (50/90/99)."""
+        table = {50.0: self.p50, 90.0: self.p90, 99.0: self.p99}
+        if float(pct) not in table:
+            raise ValueError(
+                f"engine results carry p50/p90/p99 only, not p{pct:g}"
+            )
+        return table[float(pct)]
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """The stats schema shared by every engine.
+
+    Loads are flits/cycle/node over the measurement window; latencies
+    are cycles.  ``groups`` holds per-traffic-group latency summaries
+    keyed by the group names the scenario's traffic tracks (``victim``
+    / ``aggressor``); ``extras`` carries engine-specific scalar probes
+    (the cycle engine reports ``stash_stalls``, the flow engine
+    ``bottleneck_utilization`` and ``ecn_steps``).
+    """
+
+    engine: str
+    offered_load: float
+    accepted_load: float
+    avg_latency: float
+    p90_latency: float
+    p99_latency: float
+    max_latency: float
+    packets_measured: int
+    cycles: int
+    groups: tuple[tuple[str, GroupStats], ...] = ()
+    extras: tuple[tuple[str, float], ...] = ()
+
+    def group(self, name: str) -> GroupStats:
+        """Stats for a named traffic group (e.g. ``"victim"``);
+        raises :class:`KeyError` when the scenario defined no such
+        group."""
+        for group_name, stats in self.groups:
+            if group_name == name:
+                return stats
+        raise KeyError(name)
+
+    def extra(self, name: str, default: float = 0.0) -> float:
+        """An engine-specific scalar (e.g. the cycle engine's
+        ``stash_stalls``), or ``default`` when this engine doesn't
+        emit it."""
+        for key, value in self.extras:
+            if key == name:
+                return value
+        return default
+
+
+class Engine(Protocol):
+    """Anything that can run a :class:`ScenarioSpec` to an
+    :class:`EngineResult`."""
+
+    name: str
+
+    def run(self, spec: "ScenarioSpec") -> EngineResult:
+        """Execute the scenario and return its aggregated stats."""
+        ...
+
+
+def _group_stats(stats) -> GroupStats:
+    """Summarise a LatencyStats collector into the shared schema."""
+    return GroupStats(
+        count=stats.count,
+        mean=stats.mean,
+        p50=stats.percentile(50),
+        p90=stats.percentile(90),
+        p99=stats.percentile(99),
+        max=stats.max,
+    )
+
+
+class CycleEngine:
+    """Adapter: the cycle-accurate simulator behind the Engine protocol.
+
+    Builds the network via :func:`repro.scenario.spec.build_network`
+    (the byte-identity-preserving materialisation) and drives the
+    standard warmup / measure / (optional drain) phases.
+    """
+
+    name = "cycle"
+
+    def run(self, spec: "ScenarioSpec") -> EngineResult:
+        """Simulate the scenario flit-by-flit and aggregate its stats."""
+        from repro.scenario.spec import build_network
+
+        net = build_network(spec)
+        res = net.run_standard(drain=spec.drain)
+        groups = tuple(
+            (name, _group_stats(net.group_latency[name]))
+            for name in sorted(net.group_latency)
+        )
+        stalls = sum(
+            ip.stall_no_stash for sw in net.switches for ip in sw.in_ports
+        )
+        return EngineResult(
+            engine=self.name,
+            offered_load=res.offered_load,
+            accepted_load=res.accepted_load,
+            avg_latency=res.avg_latency,
+            p90_latency=res.p90_latency,
+            p99_latency=res.p99_latency,
+            max_latency=res.max_latency,
+            packets_measured=res.packets_measured,
+            cycles=net.sim.cycle,
+            groups=groups,
+            extras=(("stash_stalls", float(stalls)),),
+        )
+
+
+ENGINE_NAMES = ("cycle", "flow")
+
+
+def get_engine(name: str) -> Engine:
+    """Resolve an engine by its runner name (``cycle`` or ``flow``)."""
+    if name == "cycle":
+        return CycleEngine()
+    if name == "flow":
+        from repro.engine.fastpath import FlowEngine
+
+        return FlowEngine()
+    raise ValueError(f"unknown engine {name!r}; choose from {ENGINE_NAMES}")

@@ -1,0 +1,725 @@
+"""Flow-level fastpath engine: fluid bandwidth allocation over the
+scenario topology.
+
+Where the cycle engine moves individual flits through a modelled switch
+microarchitecture, :class:`FlowEngine` treats traffic as fluid flows and
+solves for the steady state directly:
+
+* **Topology graph** — the *same* topology objects the cycle engine
+  wires (:mod:`repro.topology`), flattened into directed unit-capacity
+  links (injection, ejection, local, global).  Routes are minimal; the
+  fat-tree splits flows evenly across spines (fluid ECMP).
+* **Max-min fair sharing** — progressive filling: all unfrozen flows
+  grow at the same rate until a link saturates or a flow reaches its
+  demand, the allocation a fair per-flit arbiter converges to.
+* **ACK background traffic** — the cycle engine acknowledges every
+  delivered data packet with a priority single-flit ACK on the reverse
+  path, so each link's data capacity is derated by the ACK load it
+  carries (``rate / msg_flits`` per crossing flow).  Solved as a damped
+  fixed point alongside the allocation.
+* **Stash as a fluid buffer pool** — with end-to-end reliability each
+  source switch holds a retransmission copy of every in-flight packet,
+  so Little's law bounds its endpoints' aggregate rate:
+  ``sum(rate_f * rtt_f) <= stash_pool_flits``.  The pool is a virtual
+  link whose per-flow consumption coefficient is the flow's round-trip
+  time — the same arithmetic as :mod:`repro.analysis.littles_law`, per
+  switch instead of averaged, and the RTT includes the queueing delay
+  of the current allocation (congestion inflates RTT, which tightens
+  the pool, which throttles injection — the feedback loop behind the
+  stash-variant throughput curves).
+* **ECN as coarse time-stepped window dynamics** — each traffic class
+  carries one fluid congestion window; every step the allocation is
+  re-solved under ``rate <= window / rtt`` caps, then windows do
+  multiplicative decrease (times ``window_decrease``) when a route link
+  exceeds the congestion threshold and additive recovery otherwise.
+  The reported numbers average the post-convergence tail of the steps.
+
+Everything is closed-form floating point over sorted containers: no
+RNG, no dict-order dependence — results are a pure function of the
+:class:`~repro.scenario.spec.ScenarioSpec`, hence byte-identical for
+any ``--jobs`` value.
+
+Accuracy envelope (measured by :mod:`repro.analysis.crosscheck`; see
+docs/FASTPATH.md): mean throughput within 10 % of the cycle engine on
+the cross-validation presets; latency is trend-level only.  Transient
+time-series experiments (fig7/fig8), trace replay (fig6), and
+microarchitecture probes (occupancy, placement/speedup ablations)
+remain cycle-only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.engine.base import EngineResult, EngineUnsupported, GroupStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.config import NetworkConfig
+    from repro.scenario.spec import ScenarioSpec
+    from repro.topology.topology import Topology
+
+__all__ = ["FlowEngine"]
+
+#: per-switch-traversal pipeline cost (route + arbitration + crossbar),
+#: calibrated against the cycle engine's zero-load latency
+_HOP_CYCLES = 5.0
+
+#: link utilization above which the fluid model reports ECN congestion
+#: (occupancy thresholds only bind near saturation in steady state)
+_ECN_UTILIZATION = 0.95
+
+#: solver steps: ECN window dynamics need the longer schedule; plain
+#: ack/rtt fixed points converge in a few damped iterations
+_ECN_STEPS = 48
+_FP_STEPS = 12
+
+_EPS = 1e-12
+
+
+@dataclass
+class _Flow:
+    """One aggregated fluid flow: ``weight`` unit sources on the same
+    switch sharing a route, each offering ``demand`` flits/cycle."""
+
+    links: tuple[int, ...]
+    weight: float
+    demand: float
+    base_latency: float
+    group: str
+    klass: int  # ECN window class index
+    msg_flits: int
+    src_switch: int
+    #: links the flow's ACKs consume, with the ACK-rate share per link
+    ack_links: tuple[tuple[int, float], ...]
+    #: virtual stash-pool link (consumed at coefficient rtt), or -1
+    stash_link: int = -1
+    #: congestion-aware round-trip estimate, updated by the solver
+    rtt: float = 0.0
+    #: queueing delay under the final allocation, set by the solver
+    qdelay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rtt == 0.0:
+            self.rtt = 2.0 * self.base_latency
+
+
+class _LinkTable:
+    """Directed links with capacities, addressed by stable string keys."""
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self.caps: list[float] = []
+
+    def add(self, key: str, capacity: float) -> int:
+        if key in self._ids:
+            raise ValueError(f"duplicate link {key!r}")
+        self._ids[key] = len(self.caps)
+        self.caps.append(capacity)
+        return self._ids[key]
+
+    def ensure(self, key: str, capacity: float) -> int:
+        if key not in self._ids:
+            return self.add(key, capacity)
+        return self._ids[key]
+
+    def id(self, key: str) -> int:
+        return self._ids[key]
+
+
+def _maxmin(
+    entries: list[tuple[tuple[int, ...], tuple[float, ...]]],
+    weights: list[float],
+    caps: list[float],
+    demand_caps: list[float],
+) -> list[float]:
+    """Progressive-filling max-min fair allocation.
+
+    Returns the per-unit rate of each flow.  ``demand_caps`` bounds each
+    flow's per-unit rate; link ``l`` constrains
+    ``sum(weight * coeff * rate) <= caps[l]``.
+    """
+    n = len(entries)
+    alloc = [0.0] * n
+    residual = list(caps)
+    active = [demand_caps[i] > _EPS for i in range(n)]
+    link_weight = [0.0] * len(caps)
+    link_flows: list[list[int]] = [[] for _ in caps]
+    for i, (links, coeffs) in enumerate(entries):
+        if not active[i]:
+            continue
+        for l, c in zip(links, coeffs):
+            link_weight[l] += weights[i] * c
+            link_flows[l].append(i)
+
+    def freeze(i: int) -> None:
+        active[i] = False
+        links, coeffs = entries[i]
+        for l, c in zip(links, coeffs):
+            link_weight[l] -= weights[i] * c
+
+    remaining = sum(active)
+    while remaining:
+        inc = math.inf
+        for l, w in enumerate(link_weight):
+            if w > _EPS:
+                inc = min(inc, residual[l] / w)
+        for i in range(n):
+            if active[i]:
+                inc = min(inc, demand_caps[i] - alloc[i])
+        if inc is math.inf:
+            break
+        inc = max(inc, 0.0)
+        for i in range(n):
+            if active[i]:
+                alloc[i] += inc
+        for l, w in enumerate(link_weight):
+            if w > _EPS:
+                residual[l] -= inc * w
+        for i in range(n):
+            if active[i] and alloc[i] >= demand_caps[i] - _EPS:
+                freeze(i)
+        for l in range(len(caps)):
+            if residual[l] <= _EPS and link_weight[l] > _EPS:
+                for i in link_flows[l]:
+                    if active[i]:
+                        freeze(i)
+        new_remaining = sum(active)
+        if new_remaining == remaining:
+            break  # numerical stall; allocation is already feasible
+        remaining = new_remaining
+    return alloc
+
+
+def _weighted_percentile(
+    samples: list[tuple[float, float]], pct: float
+) -> float:
+    """Nearest-rank percentile of (value, weight) samples."""
+    total = sum(w for _v, w in samples)
+    if total <= 0.0:
+        return math.nan
+    ordered = sorted(samples)
+    target = pct / 100.0 * total
+    acc = 0.0
+    for value, weight in ordered:
+        acc += weight
+        if acc >= target - _EPS:
+            return value
+    return ordered[-1][0]
+
+
+class FlowEngine:
+    """Flow-level fastpath behind the Engine protocol."""
+
+    name = "flow"
+
+    def __init__(self) -> None:
+        #: member nodes behind each aggregated injection link
+        self._inj_members: dict[int, tuple[int, ...]] = {}
+        #: node -> its class injection link (for ACK contention)
+        self._node_inj: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # topology graph
+    # ------------------------------------------------------------------
+
+    def _build_graph(self, topo: "Topology", links: _LinkTable) -> None:
+        """One directed unit-capacity link per wired switch port."""
+        for s in range(topo.num_switches):
+            for spec in topo.switch_ports(s):
+                if spec.link_class in ("local", "global"):
+                    links.add(f"l:{s}.{spec.port}", 1.0)
+
+    def _route(
+        self, topo: "Topology", src_switch: int, dst_switch: int,
+        links: _LinkTable,
+    ) -> tuple[list[tuple[int, float]], float]:
+        """Minimal switch-to-switch hops: ([(link id, latency)], #switches)."""
+        from repro.topology.dragonfly import DragonflyTopology
+        from repro.topology.single_switch import SingleSwitchTopology
+
+        if isinstance(topo, SingleSwitchTopology) or src_switch == dst_switch:
+            return [], 1.0
+        if isinstance(topo, DragonflyTopology):
+            hops: list[tuple[int, float]] = []
+            cur = src_switch
+            while cur != dst_switch:
+                if topo.group_of(cur) == topo.group_of(dst_switch):
+                    port = topo.local_port(cur, dst_switch)
+                else:
+                    port = topo.route_to_group(
+                        cur, topo.group_of(dst_switch)
+                    )
+                spec = topo.port_spec(cur, port)
+                assert spec.peer is not None and spec.peer[0] == "switch"
+                hops.append((links.id(f"l:{cur}.{port}"), float(spec.latency)))
+                cur = spec.peer[1]
+                if len(hops) > 8:  # minimal dragonfly paths are <= 3 hops
+                    raise EngineUnsupported(
+                        "flow routing failed to converge on this topology"
+                    )
+            return hops, float(len(hops) + 1)
+        raise EngineUnsupported(
+            f"flow engine has no routes for {type(topo).__name__}"
+        )
+
+    def _fattree_routes(
+        self, topo, src_leaf: int, dst_leaf: int, links: _LinkTable
+    ) -> list[tuple[list[tuple[int, float]], float]]:
+        """All spine routes leaf->spine->leaf (fluid ECMP splits)."""
+        routes = []
+        for spine in range(topo.num_spines):
+            spine_sw = topo.num_leaves + spine
+            up = links.id(f"l:{src_leaf}.{topo.uplink_port(src_leaf, spine)}")
+            down = links.id(
+                f"l:{spine_sw}.{topo.downlink_port(spine_sw, dst_leaf)}"
+            )
+            lat = float(topo.latency_up)
+            routes.append(([(up, lat), (down, lat)], 3.0))
+        return routes
+
+    def _switch_routes(
+        self, topo, src_switch: int, dst_switch: int, links: _LinkTable
+    ) -> list[tuple[list[tuple[int, float]], float]]:
+        from repro.topology.fattree import FatTreeTopology
+
+        if isinstance(topo, FatTreeTopology) and src_switch != dst_switch:
+            return self._fattree_routes(topo, src_switch, dst_switch, links)
+        return [self._route(topo, src_switch, dst_switch, links)]
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+
+    def run(self, spec: "ScenarioSpec") -> EngineResult:
+        """Solve the scenario's fluid steady state and aggregate stats
+        in the shared :class:`EngineResult` schema."""
+        from repro.scenario.spec import (
+            HotspotTraffic,
+            UniformAggressorTraffic,
+            UniformTraffic,
+            build_topology,
+        )
+        from repro.topology.dragonfly import DragonflyTopology
+
+        cfg = spec.resolved_config()
+        topo, cfg = build_topology(spec, cfg)
+        if topo is None:
+            topo = DragonflyTopology(cfg.dragonfly, cfg.switch.num_ports)
+        total = topo.num_nodes
+        links = _LinkTable()
+        self._build_graph(topo, links)
+        self._inj_members.clear()
+        self._node_inj.clear()
+
+        flows: list[_Flow] = []
+        ecn_classes: list[str] = []
+        for traffic in spec.traffic:
+            if isinstance(traffic, UniformTraffic):
+                msg = traffic.msg_flits or cfg.switch.max_packet_flits
+                self._uniform_flows(
+                    topo, cfg, links, flows, ecn_classes,
+                    nodes=tuple(range(total)), rate=traffic.rate,
+                    msg_flits=msg, group="", name="uniform",
+                )
+            elif isinstance(traffic, HotspotTraffic):
+                msg = cfg.switch.max_packet_flits
+                num_hot = traffic.num_hotspots
+                if num_hot is None:
+                    num_hot = max(1, round(total * 12 / 3080))
+                n_aggr = num_hot * traffic.oversubscription
+                if n_aggr + num_hot >= total:
+                    raise EngineUnsupported(
+                        "network too small for this hotspot configuration"
+                    )
+                hot = tuple(range(total - num_hot, total))
+                aggr = tuple(range(total - num_hot - n_aggr, total - num_hot))
+                victims = tuple(range(total - num_hot - n_aggr))
+                self._uniform_flows(
+                    topo, cfg, links, flows, ecn_classes,
+                    nodes=victims, rate=traffic.victim_rate,
+                    msg_flits=msg, group="victim", name="victim",
+                )
+                self._targeted_flows(
+                    topo, cfg, links, flows, ecn_classes,
+                    nodes=aggr, rate=1.0, dsts=hot,
+                    msg_flits=msg, group="aggressor", name="aggressor",
+                )
+            elif isinstance(traffic, UniformAggressorTraffic):
+                msg = cfg.switch.max_packet_flits
+                half = total // 2
+                self._uniform_flows(
+                    topo, cfg, links, flows, ecn_classes,
+                    nodes=tuple(range(half)), rate=traffic.victim_rate,
+                    msg_flits=msg, group="victim", name="victim",
+                )
+                # closed-loop burst source: two messages outstanding, so
+                # its open-loop equivalent demand is window / rtt
+                self._uniform_flows(
+                    topo, cfg, links, flows, ecn_classes,
+                    nodes=tuple(range(half, total)), rate=1.0,
+                    msg_flits=traffic.burst_flits, group="aggressor",
+                    name="aggressor",
+                    outstanding_flits=2 * traffic.burst_flits,
+                )
+            else:
+                raise EngineUnsupported(
+                    f"flow engine cannot model traffic {traffic!r}"
+                )
+
+        if not flows:
+            return self._empty_result(cfg)
+
+        if cfg.reliability.enabled and cfg.stash.enabled:
+            self._attach_stash_pools(topo, cfg, links, flows)
+
+        alloc, util = self._solve(cfg, flows, links, ecn_classes)
+        return self._summarise(cfg, topo, flows, alloc, util,
+                               ecn_on=cfg.ecn.enabled)
+
+    # ------------------------------------------------------------------
+    # flow construction
+    # ------------------------------------------------------------------
+
+    def _class_index(self, ecn_classes: list[str], name: str) -> int:
+        if name not in ecn_classes:
+            ecn_classes.append(name)
+        return ecn_classes.index(name)
+
+    def _endpoint_latency(self, topo: "Topology", node: int) -> float:
+        spec = topo.port_spec(topo.node_switch(node), topo.node_port(node))
+        return float(spec.latency)
+
+    def _make_flows(
+        self, topo, cfg: "NetworkConfig", links: _LinkTable,
+        src_switch: int, dst_node: int, weight: float, demand: float,
+        msg_flits: int, group: str, klass: int, inj_link: int,
+    ) -> list[_Flow]:
+        """The flow(s) for one aggregated (source switch, destination)
+        pair; fat-trees return one flow per ECMP spine split.
+
+        ACKs for the flow ride the reverse path back to the source
+        members: the destination's injection channel (when it also
+        sources data), the reverse switch hops, and the members'
+        ejection channels.
+        """
+        ej = links.ensure(f"ej:{dst_node}", 1.0)
+        ej_lat = self._endpoint_latency(topo, dst_node)
+        dst_switch = topo.node_switch(dst_node)
+        routes = self._switch_routes(topo, src_switch, dst_switch, links)
+        back_routes = self._switch_routes(topo, dst_switch, src_switch, links)
+        members = self._inj_members[inj_link]
+        member_share = 1.0 / len(members)
+        back_share = 1.0 / len(back_routes)
+        ack_common: list[tuple[int, float]] = []
+        if dst_node in self._node_inj:
+            ack_common.append((self._node_inj[dst_node], 1.0))
+        for hops, _count in back_routes:
+            ack_common.extend((l, back_share) for l, _lat in hops)
+        for u in members:
+            ack_common.append(
+                (links.ensure(f"ej:{u}", 1.0), member_share)
+            )
+        out = []
+        share = 1.0 / len(routes)
+        for hops, hop_count in routes:
+            lat = (
+                ej_lat * 2.0  # injection + ejection channels
+                + sum(h_lat for _l, h_lat in hops)
+                + hop_count * _HOP_CYCLES
+                + float(msg_flits)
+            )
+            out.append(_Flow(
+                links=(inj_link, *(l for l, _lat in hops), ej),
+                weight=weight * share,
+                demand=demand,
+                base_latency=lat,
+                group=group,
+                klass=klass,
+                msg_flits=msg_flits,
+                src_switch=src_switch,
+                ack_links=tuple(ack_common),
+            ))
+        return out
+
+    def _inj_link(
+        self, links: _LinkTable, name: str, switch: int,
+        members: list[int],
+    ) -> int:
+        inj = links.ensure(f"inj:{name}:{switch}", float(len(members)))
+        self._inj_members[inj] = tuple(members)
+        for u in members:
+            self._node_inj[u] = inj
+        return inj
+
+    def _uniform_flows(
+        self, topo, cfg, links: _LinkTable, flows: list[_Flow],
+        ecn_classes: list[str], nodes: tuple[int, ...], rate: float,
+        msg_flits: int, group: str, name: str,
+        outstanding_flits: int | None = None,
+    ) -> None:
+        """Uniform-random traffic from ``nodes`` to every other node,
+        aggregated per (source switch, destination node)."""
+        total = topo.num_nodes
+        if total < 2 or rate <= 0.0 or not nodes:
+            return
+        klass = self._class_index(ecn_classes, name)
+        by_switch: dict[int, list[int]] = {}
+        for u in nodes:
+            by_switch.setdefault(topo.node_switch(u), []).append(u)
+        unit = rate / (total - 1)
+        for a in sorted(by_switch):
+            members = by_switch[a]
+            inj = self._inj_link(links, name, a, members)
+            for v in range(total):
+                weight = sum(1 for u in members if u != v)
+                if not weight:
+                    continue
+                demand = unit
+                if outstanding_flits is not None:
+                    # closed loop: at most outstanding_flits in flight
+                    # per source, spread over its destinations
+                    probe = self._make_flows(
+                        topo, cfg, links, a, v, 1.0, 1.0, msg_flits,
+                        group, klass, inj,
+                    )[0]
+                    demand = min(unit, outstanding_flits / probe.rtt
+                                 / (total - 1))
+                flows.extend(self._make_flows(
+                    topo, cfg, links, a, v, float(weight), demand,
+                    msg_flits, group, klass, inj,
+                ))
+
+    def _targeted_flows(
+        self, topo, cfg, links: _LinkTable, flows: list[_Flow],
+        ecn_classes: list[str], nodes: tuple[int, ...], rate: float,
+        dsts: tuple[int, ...], msg_flits: int, group: str, name: str,
+    ) -> None:
+        """Traffic from ``nodes`` uniformly over the ``dsts`` set."""
+        if rate <= 0.0 or not nodes or not dsts:
+            return
+        klass = self._class_index(ecn_classes, name)
+        by_switch: dict[int, list[int]] = {}
+        for u in nodes:
+            by_switch.setdefault(topo.node_switch(u), []).append(u)
+        unit = rate / len(dsts)
+        for a in sorted(by_switch):
+            members = by_switch[a]
+            inj = self._inj_link(links, name, a, members)
+            for v in dsts:
+                weight = sum(1 for u in members if u != v)
+                if not weight:
+                    continue
+                flows.extend(self._make_flows(
+                    topo, cfg, links, a, v, float(weight), unit,
+                    msg_flits, group, klass, inj,
+                ))
+
+    def _attach_stash_pools(
+        self, topo, cfg, links: _LinkTable, flows: list[_Flow]
+    ) -> None:
+        """Bound each source switch's in-flight flits by its stash pool:
+        ``sum(rate * rtt) <= pool`` (Little's law), encoded as a virtual
+        link consumed at coefficient ``rtt`` per unit rate."""
+        st = cfg.stash
+        pooled = cfg.switch.input_buffer_flits + cfg.switch.output_buffer_flits
+        pool_ids: dict[int, int] = {}
+        for s in range(topo.num_switches):
+            pool = 0.0
+            for pspec in topo.switch_ports(s):
+                if pspec.link_class in ("endpoint", "local", "global"):
+                    pool += st.fraction_for(pspec.link_class) * pooled
+            pool *= st.capacity_scale
+            if pool > 0.0:
+                pool_ids[s] = links.add(f"stash:{s}", pool)
+        for f in flows:
+            if f.src_switch in pool_ids:
+                f.stash_link = pool_ids[f.src_switch]
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+
+    def _solve(
+        self, cfg, flows: list[_Flow], links: _LinkTable,
+        ecn_classes: list[str],
+    ) -> tuple[list[float], list[float]]:
+        """Damped fixed point over (allocation, ACK load, queueing RTT),
+        with the ECN window schedule layered on when ECN is enabled.
+
+        Returns (per-unit allocations, per-link utilizations) and leaves
+        each flow's ``rtt``/``qdelay`` at their converged values.
+        """
+        ecn = cfg.ecn
+        ecn_on = ecn.enabled
+        steps = _ECN_STEPS if ecn_on else _FP_STEPS
+        keep_from = steps - max(1, steps // 4)
+        windows = [float(ecn.window_max_flits)] * len(ecn_classes)
+        weights = [f.weight for f in flows]
+        base_caps = links.caps
+        ack_load = [0.0] * len(base_caps)
+        buffer_cap = float(cfg.switch.input_buffer_flits)
+        tail: list[list[float]] = []
+        alloc = [0.0] * len(flows)
+        util = [0.0] * len(base_caps)
+        for step in range(steps):
+            entries = []
+            for f in flows:
+                if f.stash_link >= 0:
+                    entries.append((
+                        (*f.links, f.stash_link),
+                        (*(1.0,) * len(f.links), f.rtt),
+                    ))
+                else:
+                    entries.append((f.links, (1.0,) * len(f.links)))
+            caps_eff = [
+                max(_EPS, c - a) for c, a in zip(base_caps, ack_load)
+            ]
+            if ecn_on:
+                demand_caps = [
+                    min(f.demand, windows[f.klass] / f.rtt) for f in flows
+                ]
+            else:
+                demand_caps = [f.demand for f in flows]
+            alloc = _maxmin(entries, weights, caps_eff, demand_caps)
+
+            # total (data + ACK) load per link under this allocation
+            load = list(ack_load)
+            for f, x in zip(flows, alloc):
+                r = f.weight * x
+                for l in f.links:
+                    load[l] += r
+            util = [
+                (load[l] / base_caps[l]) if base_caps[l] > 0 else 0.0
+                for l in range(len(base_caps))
+            ]
+            # queueing delay -> damped RTT update (feeds the stash pool
+            # coefficients and the ECN window caps next step)
+            for f in flows:
+                q = 0.0
+                for l in f.links:
+                    rho = min(util[l], 0.999999)
+                    if rho > 0.0:
+                        q += min(
+                            0.5 * rho / (1.0 - rho) * f.msg_flits,
+                            buffer_cap,
+                        )
+                f.qdelay = q
+                f.rtt = 0.5 * f.rtt + 0.5 * (2.0 * (f.base_latency + q))
+            # next step's ACK background load (priority traffic)
+            ack_load = [0.0] * len(base_caps)
+            for f, x in zip(flows, alloc):
+                a = f.weight * x / f.msg_flits
+                for l, ack_share in f.ack_links:
+                    ack_load[l] += a * ack_share
+            if ecn_on:
+                congested = [False] * len(ecn_classes)
+                for f, x in zip(flows, alloc):
+                    if congested[f.klass]:
+                        continue
+                    for l in f.links:
+                        if util[l] >= _ECN_UTILIZATION:
+                            congested[f.klass] = True
+                            break
+                for k in range(len(ecn_classes)):
+                    if congested[k]:
+                        windows[k] = max(
+                            float(ecn.window_min_flits),
+                            windows[k] * ecn.window_decrease,
+                        )
+                    else:
+                        windows[k] = min(
+                            float(ecn.window_max_flits),
+                            windows[k] + float(ecn.recovery_flits),
+                        )
+            if step >= keep_from:
+                tail.append(alloc)
+        if tail:
+            alloc = [
+                sum(step_alloc[i] for step_alloc in tail) / len(tail)
+                for i in range(len(flows))
+            ]
+        return alloc, util
+
+    # ------------------------------------------------------------------
+    # result assembly
+    # ------------------------------------------------------------------
+
+    def _summarise(
+        self, cfg, topo, flows: list[_Flow], alloc: list[float],
+        util: list[float], ecn_on: bool,
+    ) -> EngineResult:
+        nodes = max(1, topo.num_nodes)
+        samples: list[tuple[float, float]] = []
+        group_samples: dict[str, list[tuple[float, float]]] = {}
+        group_pkts: dict[str, float] = {}
+        offered = accepted = 0.0
+        pkt_rate = 0.0
+        for f, x in zip(flows, alloc):
+            offered += f.weight * f.demand
+            rate = f.weight * x
+            accepted += rate
+            lat = f.base_latency + f.qdelay
+            w = max(rate, _EPS)
+            samples.append((lat, w))
+            if f.group:
+                group_samples.setdefault(f.group, []).append((lat, w))
+                group_pkts[f.group] = group_pkts.get(f.group, 0.0) + (
+                    rate / f.msg_flits if f.msg_flits else 0.0
+                )
+            if f.msg_flits > 0:
+                pkt_rate += rate / f.msg_flits
+
+        sim = cfg.sim
+        if not samples:
+            return self._empty_result(cfg)
+
+        total_w = sum(w for _v, w in samples)
+        mean = sum(v * w for v, w in samples) / total_w
+        groups = tuple(
+            (
+                name,
+                GroupStats(
+                    count=int(group_pkts.get(name, 0.0) * sim.measure_cycles),
+                    mean=sum(v * w for v, w in gs) / sum(w for _v, w in gs),
+                    p50=_weighted_percentile(gs, 50),
+                    p90=_weighted_percentile(gs, 90),
+                    p99=_weighted_percentile(gs, 99),
+                    max=max(v for v, _w in gs),
+                ),
+            )
+            for name, gs in sorted(group_samples.items())
+        )
+        return EngineResult(
+            engine=self.name,
+            offered_load=offered / nodes,
+            accepted_load=accepted / nodes,
+            avg_latency=mean,
+            p90_latency=_weighted_percentile(samples, 90),
+            p99_latency=_weighted_percentile(samples, 99),
+            max_latency=max(v for v, _w in samples),
+            packets_measured=int(pkt_rate * sim.measure_cycles),
+            cycles=sim.warmup_cycles + sim.measure_cycles,
+            groups=groups,
+            extras=(
+                ("bottleneck_utilization", max(util) if util else 0.0),
+                ("ecn_steps", float(_ECN_STEPS if ecn_on else 0)),
+            ),
+        )
+
+    def _empty_result(self, cfg) -> EngineResult:
+        sim = cfg.sim
+        return EngineResult(
+            engine=self.name,
+            offered_load=0.0,
+            accepted_load=0.0,
+            avg_latency=math.nan,
+            p90_latency=math.nan,
+            p99_latency=math.nan,
+            max_latency=math.nan,
+            packets_measured=0,
+            cycles=sim.warmup_cycles + sim.measure_cycles,
+            groups=(),
+            extras=(("bottleneck_utilization", 0.0), ("ecn_steps", 0.0)),
+        )

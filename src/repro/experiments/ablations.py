@@ -10,6 +10,10 @@ plus the Little's-law cross-check of Section VI-A (A1).
   stall counts and latency at high load.
 * **littles_law** — predicted vs simulated saturation for the
   capacity-restricted network.
+
+The speedup and placement sweeps express their stash overrides directly
+in the config and run as plain-variant scenarios; they probe the switch
+microarchitecture, so they are cycle-only.
 """
 
 from __future__ import annotations
@@ -21,9 +25,12 @@ from repro.analysis.littles_law import (
     stash_per_endpoint_flits,
 )
 from repro.engine.config import NetworkConfig, ReliabilityParams
-from repro.engine.parallel import RunSpec, Timed, derive_run_seed, run_specs
-from repro.experiments.common import preset_by_name, reliability_network
-from repro.network import Network
+from repro.experiments.common import (
+    SweepEntry,
+    preset_by_name,
+    run_sweep,
+)
+from repro.scenario import ScenarioSpec, UniformTraffic, reliability_scenario
 
 __all__ = [
     "format_ablations",
@@ -33,30 +40,15 @@ __all__ = [
 ]
 
 
-def _with_seed(cfg: NetworkConfig, seed: int | None) -> NetworkConfig:
-    if seed is None:
-        return cfg
-    return cfg.with_(sim=replace(cfg.sim, seed=seed))
-
-
-def _reliability_net(
-    base: NetworkConfig, seed: int | None = None, **stash_overrides
-) -> Network:
-    cfg = _with_seed(base, seed).with_(
+def _reliability_config(
+    base: NetworkConfig, **stash_overrides
+) -> NetworkConfig:
+    """Reliability stashing with explicit stash parameter overrides,
+    baked into the config (a plain-variant scenario carries it as-is)."""
+    return base.with_(
         stash=replace(base.stash, enabled=True, **stash_overrides),
         reliability=ReliabilityParams(enabled=True),
     )
-    return Network(cfg)
-
-
-def _speedup_point(
-    base: NetworkConfig, speedup: float, load: float, seed: int
-) -> Timed:
-    cfg = base.with_(switch=replace(base.switch, speedup=speedup))
-    net = _reliability_net(cfg, seed=seed)
-    net.add_uniform_traffic(rate=load)
-    res = net.run_standard()
-    return Timed((speedup, res.accepted_load, res.avg_latency), net.sim.cycle)
 
 
 def run_speedup_ablation(
@@ -70,39 +62,25 @@ def run_speedup_ablation(
     stashing at full capacity."""
     if base is None:
         base = preset_by_name("tiny")
-    specs = [
-        RunSpec(
+    entries = [
+        SweepEntry(
             key=("speedup", s),
-            fn=_speedup_point,
-            args=(base, s, load),
-            seed=derive_run_seed(base.sim.seed, f"ablation:speedup:{s!r}"),
+            label=f"ablation:speedup:{s!r}",
+            spec=ScenarioSpec(
+                config=_reliability_config(
+                    base.with_(switch=replace(base.switch, speedup=s))
+                ),
+                traffic=(UniformTraffic(rate=load),),
+            ),
         )
         for s in speedups
     ]
-    return [o.value for o in run_specs(specs, jobs=jobs, progress=progress)]
-
-
-def _placement_point(
-    base: NetworkConfig,
-    placement: str,
-    load: float,
-    capacity_scale: float,
-    seed: int,
-) -> Timed:
-    net = _reliability_net(
-        base, seed=seed, capacity_scale=capacity_scale, placement=placement
-    )
-    net.add_uniform_traffic(rate=load)
-    res = net.run_standard()
-    stalls = sum(
-        ip.stall_no_stash for sw in net.switches for ip in sw.in_ports
-    )
-    row = {
-        "accepted": res.accepted_load,
-        "avg_latency": res.avg_latency,
-        "stash_stalls": float(stalls),
-    }
-    return Timed((placement, row), net.sim.cycle)
+    outcomes = run_sweep(entries, seed=base.sim.seed, jobs=jobs,
+                         progress=progress)
+    return [
+        (o.key[1], o.value.accepted_load, o.value.avg_latency)
+        for o in outcomes
+    ]
 
 
 def run_placement_ablation(
@@ -116,29 +94,29 @@ def run_placement_ablation(
     capacity (where placement balance matters most)."""
     if base is None:
         base = preset_by_name("tiny")
-    specs = [
-        RunSpec(
+    entries = [
+        SweepEntry(
             key=("placement", placement),
-            fn=_placement_point,
-            args=(base, placement, load, capacity_scale),
-            seed=derive_run_seed(
-                base.sim.seed, f"ablation:placement:{placement}"
+            label=f"ablation:placement:{placement}",
+            spec=ScenarioSpec(
+                config=_reliability_config(
+                    base, capacity_scale=capacity_scale, placement=placement
+                ),
+                traffic=(UniformTraffic(rate=load),),
             ),
         )
         for placement in ("jsq", "random")
     ]
-    outcomes = run_specs(specs, jobs=jobs, progress=progress)
-    return {o.value[0]: o.value[1] for o in outcomes}
-
-
-def _littles_point(
-    base: NetworkConfig, variant: str, load: float, seed: int
-) -> Timed:
-    net = reliability_network(base, variant, seed=seed)
-    net.add_uniform_traffic(rate=load)
-    res = net.run_standard()
-    point = (load, res.offered_load, res.accepted_load, res.avg_latency)
-    return Timed(point, net.sim.cycle)
+    outcomes = run_sweep(entries, seed=base.sim.seed, jobs=jobs,
+                         progress=progress)
+    return {
+        o.key[1]: {
+            "accepted": o.value.accepted_load,
+            "avg_latency": o.value.avg_latency,
+            "stash_stalls": o.value.extra("stash_stalls"),
+        }
+        for o in outcomes
+    }
 
 
 def run_littles_law_check(
@@ -163,23 +141,26 @@ def run_littles_law_check(
     per_ep = stash_per_endpoint_flits(cfg)
     variant = "stash25" if capacity_scale == 0.25 else "stash50"
 
-    specs = [
-        RunSpec(
+    entries = [
+        SweepEntry(
             key=("littles", load),
-            fn=_littles_point,
-            args=(base, variant, load),
-            seed=derive_run_seed(base.sim.seed, f"ablation:littles:{load!r}"),
+            label=f"ablation:littles:{load!r}",
+            spec=reliability_scenario(
+                base, variant, traffic=(UniformTraffic(rate=load),)
+            ),
         )
         for load in sorted(loads)
     ]
-    outcomes = run_specs(specs, jobs=jobs, progress=progress)
+    outcomes = run_sweep(entries, seed=base.sim.seed, jobs=jobs,
+                         progress=progress)
 
     best_accepted = 0.0
     rtt_estimate = None
-    for _load, offered, accepted, avg_latency in (o.value for o in outcomes):
-        best_accepted = max(best_accepted, accepted)
-        if accepted >= 0.9 * offered:
-            rtt_estimate = 2.0 * avg_latency  # pre-saturation sample
+    for o in outcomes:
+        r = o.value
+        best_accepted = max(best_accepted, r.accepted_load)
+        if r.accepted_load >= 0.9 * r.offered_load:
+            rtt_estimate = 2.0 * r.avg_latency  # pre-saturation sample
     if rtt_estimate is None:
         raise RuntimeError(
             "no pre-saturation load point; add a lower load to the sweep"

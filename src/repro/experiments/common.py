@@ -1,40 +1,57 @@
-"""Shared experiment plumbing: network variants and presets.
+"""Shared experiment plumbing: presets, scenario sweeps, and variants.
 
 The paper compares four networks in the reliability study (Section VI-A)
 — baseline (no stashing, unlimited outstanding packets) and stashing at
 100 % / 50 % / 25 % capacity — and three in the congestion study
-(Section VI-B): ECN baseline, ECN + stashing at 100 % and 50 %.
+(Section VI-B): ECN baseline, ECN + stashing at 100 % and 50 %.  The
+variant tables live in :mod:`repro.scenario.spec` (re-exported here for
+compatibility) so both engines resolve them identically.
+
+Every sweep-style experiment (fig5, fig9, fattree, ablations) builds a
+list of :class:`SweepEntry` — a stable key, the seed-derivation label,
+and an engine-agnostic :class:`~repro.scenario.ScenarioSpec` — and runs
+it through :func:`run_sweep`.  The harness owns the boilerplate the
+figure scripts used to duplicate: per-point seed derivation, RunSpec
+construction, executor fan-out, and collection by variant.  Labels are
+byte-compatible with the pre-harness scripts, so derived seeds (and
+therefore all cycle-engine output) are unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterable, Sequence
 
-from repro.engine.config import NetworkConfig, StashParams, ReliabilityParams
-from repro.network import Network
+from repro.engine.base import get_engine
+from repro.engine.config import NetworkConfig
+from repro.engine.parallel import (
+    RunOutcome,
+    RunSpec,
+    Timed,
+    derive_run_seed,
+    run_specs,
+)
+from repro.scenario.spec import (
+    CONGESTION_VARIANTS,
+    RELIABILITY_VARIANTS,
+    ScenarioSpec,
+    congestion_scenario,
+    reliability_scenario,
+)
 
 __all__ = [
     "CONGESTION_VARIANTS",
     "RELIABILITY_VARIANTS",
+    "SweepEntry",
+    "collect_by_variant",
     "congestion_network",
     "preset_by_name",
     "quicken",
     "reliability_network",
+    "run_sweep",
+    "scenario_point",
+    "sweep_specs",
 ]
-
-#: variant name -> stash capacity scale (None = no stashing)
-RELIABILITY_VARIANTS: dict[str, float | None] = {
-    "baseline": None,
-    "stash100": 1.0,
-    "stash50": 0.5,
-    "stash25": 0.25,
-}
-
-CONGESTION_VARIANTS: dict[str, float | None] = {
-    "baseline": None,
-    "stash100": 1.0,
-    "stash50": 0.5,
-}
 
 
 def preset_by_name(name: str) -> NetworkConfig:
@@ -60,43 +77,96 @@ def quicken(config: NetworkConfig, factor: float) -> NetworkConfig:
     )
 
 
-def reliability_network(
-    base: NetworkConfig, variant: str, seed: int | None = None
-) -> Network:
+# ----------------------------------------------------------------------
+# scenario-backed network builders (Section VI-A / VI-B)
+# ----------------------------------------------------------------------
+
+
+def reliability_network(base: NetworkConfig, variant: str, seed: int | None = None):
     """A Section VI-A network: ACKs always on; stashing variants add
-    first-hop end-to-end retransmission storage."""
-    scale = RELIABILITY_VARIANTS[variant]
-    cfg = base
-    if seed is not None:
-        cfg = cfg.with_(sim=replace(cfg.sim, seed=seed))
-    if scale is None:
-        cfg = cfg.with_(
-            stash=StashParams(enabled=False),
-            reliability=ReliabilityParams(enabled=False),
-        )
-    else:
-        cfg = cfg.with_(
-            stash=replace(cfg.stash, enabled=True, capacity_scale=scale),
-            reliability=ReliabilityParams(enabled=True),
-        )
-    return Network(cfg, acks_enabled=True)
+    first-hop end-to-end retransmission storage.
+
+    Materialised through the scenario layer so every caller —
+    experiments, trace replay, tests — shares one construction path.
+    """
+    from repro.scenario.spec import build_network
+
+    return build_network(reliability_scenario(base, variant).with_seed(seed))
 
 
-def congestion_network(
-    base: NetworkConfig, variant: str, seed: int | None = None
-) -> Network:
+def congestion_network(base: NetworkConfig, variant: str, seed: int | None = None):
     """A Section VI-B network: ECN always on; stashing variants also
     stash HoL-blocked packets while congestion notification converges."""
-    scale = CONGESTION_VARIANTS[variant]
-    cfg = base
-    if seed is not None:
-        cfg = cfg.with_(sim=replace(cfg.sim, seed=seed))
-    ecn = replace(cfg.ecn, enabled=True, stash_on_congestion=scale is not None)
-    if scale is None:
-        cfg = cfg.with_(stash=StashParams(enabled=False), ecn=ecn)
-    else:
-        cfg = cfg.with_(
-            stash=replace(cfg.stash, enabled=True, capacity_scale=scale),
-            ecn=ecn,
+    from repro.scenario.spec import build_network
+
+    return build_network(congestion_scenario(base, variant).with_seed(seed))
+
+
+# ----------------------------------------------------------------------
+# the shared sweep harness
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One sweep point: a stable result key, the seed-derivation label
+    (must match the historical per-experiment label format exactly —
+    seeds, and therefore results, depend on it), and the scenario."""
+
+    key: Any
+    label: str
+    spec: ScenarioSpec
+
+
+def scenario_point(
+    spec: ScenarioSpec, engine: str = "cycle", seed: int | None = None
+) -> Timed:
+    """Run one scenario on the named engine (module-level, so sweep
+    specs pickle by reference into pool workers)."""
+    result = get_engine(engine).run(spec.with_seed(seed))
+    return Timed(result, result.cycles)
+
+
+def sweep_specs(
+    entries: Iterable[SweepEntry], seed: int = 1, engine: str = "cycle"
+) -> list[RunSpec]:
+    """Lower sweep entries to executor run specs with derived seeds."""
+    return [
+        RunSpec(
+            key=entry.key,
+            fn=scenario_point,
+            args=(entry.spec, engine),
+            seed=derive_run_seed(seed, entry.label),
         )
-    return Network(cfg, acks_enabled=True)
+        for entry in entries
+    ]
+
+
+def run_sweep(
+    entries: Iterable[SweepEntry],
+    seed: int = 1,
+    engine: str = "cycle",
+    jobs: int = 1,
+    progress: Callable[[int, int, RunOutcome], None] | None = None,
+) -> list[RunOutcome]:
+    """Run every entry on ``engine`` and return outcomes in entry order.
+
+    Deterministic for any ``jobs`` value on both engines: the cycle
+    engine via per-point derived seeds, the flow engine because it is a
+    pure function of the spec.
+    """
+    return run_specs(sweep_specs(entries, seed, engine), jobs=jobs,
+                     progress=progress)
+
+
+def collect_by_variant(
+    outcomes: Iterable[RunOutcome],
+    variants: Sequence[str],
+    value: Callable[[Any], Any] = lambda v: v,
+) -> dict[str, list[Any]]:
+    """Group outcome values by the leading element of their key, in
+    outcome order — the collection loop every figure script repeated."""
+    results: dict[str, list[Any]] = {v: [] for v in variants}
+    for outcome in outcomes:
+        results[outcome.key[0]].append(value(outcome.value))
+    return results

@@ -6,62 +6,58 @@ Runs the Fig. 5-style comparison — baseline vs reliability-stashing at
 full and quarter capacity — on a two-level leaf/spine fat-tree whose
 leaf switches stash in their endpoint-port buffers (uplinks keep all
 their buffering, like the dragonfly's global ports).
+
+Runs on either engine; the flow fastpath models the tree's ECMP spine
+choice as an even fluid split.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from repro.engine.config import NetworkConfig
+from repro.engine.parallel import RunSpec
+from repro.experiments.common import (
+    SweepEntry,
+    collect_by_variant,
+    preset_by_name,
+    run_sweep,
+    sweep_specs,
+)
+from repro.scenario import (
+    FatTreeTopologySpec,
+    UniformTraffic,
+    reliability_scenario,
+)
 
-from repro.engine.config import NetworkConfig, ReliabilityParams, StashParams
-from repro.engine.parallel import RunSpec, Timed, derive_run_seed, run_specs
-from repro.engine.rng import DeterministicRng
-from repro.experiments.common import preset_by_name
-from repro.network import Network
-from repro.routing.fattree_routing import FatTreeRouter
-from repro.topology.fattree import FatTreeTopology
-
-__all__ = ["fattree_specs", "format_fattree", "run_fattree_reliability"]
+__all__ = [
+    "fattree_entries",
+    "fattree_specs",
+    "format_fattree",
+    "run_fattree_reliability",
+]
 
 VARIANTS = {"baseline": None, "stash100": 1.0, "stash25": 0.25}
 
 
-def _build(base: NetworkConfig, scale: float | None, seed: int) -> Network:
-    cfg = base.with_(sim=replace(base.sim, seed=seed))
-    if scale is None:
-        cfg = cfg.with_(
-            stash=StashParams(enabled=False),
-            reliability=ReliabilityParams(enabled=False),
+def fattree_entries(
+    base: NetworkConfig,
+    loads: tuple[float, ...] = (0.3, 0.7),
+    variants: tuple[str, ...] = tuple(VARIANTS),
+) -> list[SweepEntry]:
+    """One scenario per (variant, load) on the default leaf/spine tree."""
+    return [
+        SweepEntry(
+            key=(variant, load),
+            label=f"fattree:{variant}:{load!r}",
+            spec=reliability_scenario(
+                base,
+                variant,
+                traffic=(UniformTraffic(rate=load),),
+                topology=FatTreeTopologySpec(),
+            ),
         )
-    else:
-        cfg = cfg.with_(
-            stash=replace(base.stash, enabled=True, capacity_scale=scale),
-            reliability=ReliabilityParams(enabled=True),
-        )
-    topo = FatTreeTopology(
-        num_leaves=7,
-        num_spines=2,
-        p=3,
-        num_ports=max(cfg.switch.num_ports, 9),
-        latency_endpoint=cfg.dragonfly.latency_endpoint,
-        latency_up=cfg.dragonfly.latency_global // 2,
-    )
-    if topo.num_ports != cfg.switch.num_ports:
-        cfg = cfg.with_(switch=replace(cfg.switch, num_ports=topo.num_ports,
-                                       rows=3, cols=3))
-    router = FatTreeRouter(
-        topo, DeterministicRng(cfg.sim.seed).stream("fattree-routing")
-    )
-    return Network(cfg, topology=topo, router=router)
-
-
-def _fattree_point(
-    base: NetworkConfig, variant: str, load: float, seed: int
-) -> Timed:
-    net = _build(base, VARIANTS[variant], seed)
-    net.add_uniform_traffic(rate=load)
-    res = net.run_standard()
-    point = (res.offered_load, res.accepted_load, res.avg_latency)
-    return Timed(point, net.sim.cycle)
+        for variant in variants
+        for load in loads
+    ]
 
 
 def fattree_specs(
@@ -69,18 +65,10 @@ def fattree_specs(
     loads: tuple[float, ...] = (0.3, 0.7),
     variants: tuple[str, ...] = tuple(VARIANTS),
     seed: int = 1,
+    engine: str = "cycle",
 ) -> list[RunSpec]:
-    """One spec per (variant, load) sweep point."""
-    return [
-        RunSpec(
-            key=(variant, load),
-            fn=_fattree_point,
-            args=(base, variant, load),
-            seed=derive_run_seed(seed, f"fattree:{variant}:{load!r}"),
-        )
-        for variant in variants
-        for load in loads
-    ]
+    """One executor spec per (variant, load) sweep point."""
+    return sweep_specs(fattree_entries(base, loads, variants), seed, engine)
 
 
 def run_fattree_reliability(
@@ -89,19 +77,21 @@ def run_fattree_reliability(
     variants: tuple[str, ...] = tuple(VARIANTS),
     seed: int = 1,
     jobs: int = 1,
+    engine: str = "cycle",
     progress=None,
 ) -> dict[str, list[tuple[float, float, float]]]:
     """Returns variant -> [(offered, accepted, avg_latency)]."""
     if base is None:
         base = preset_by_name("tiny")
-    specs = fattree_specs(base, loads, variants, seed)
-    outcomes = run_specs(specs, jobs=jobs, progress=progress)
-    results: dict[str, list[tuple[float, float, float]]] = {
-        v: [] for v in variants
-    }
-    for outcome in outcomes:
-        results[outcome.key[0]].append(outcome.value)
-    return results
+    outcomes = run_sweep(
+        fattree_entries(base, loads, variants),
+        seed=seed, engine=engine, jobs=jobs, progress=progress,
+    )
+    return collect_by_variant(
+        outcomes,
+        variants,
+        value=lambda r: (r.offered_load, r.accepted_load, r.avg_latency),
+    )
 
 
 def format_fattree(results: dict[str, list[tuple[float, float, float]]]) -> str:

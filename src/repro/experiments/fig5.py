@@ -6,6 +6,10 @@ throughput — for the baseline and stashing networks at 100 % / 50 % /
 25 % capacity.  Expected shape (paper Section VI-A): stash 100 % and
 50 % track the baseline; 25 % saturates early at roughly the Little's-law
 bound.
+
+Runs on either engine (``engine="cycle"`` or ``"flow"``); the flow
+fastpath reproduces the throughput curves within the tolerances in
+docs/FASTPATH.md at a small fraction of the cycle engine's cost.
 """
 
 from __future__ import annotations
@@ -13,14 +17,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.engine.config import NetworkConfig
-from repro.engine.parallel import RunSpec, Timed, derive_run_seed, run_specs
+from repro.engine.parallel import RunSpec
 from repro.experiments.common import (
     RELIABILITY_VARIANTS,
+    SweepEntry,
+    collect_by_variant,
     preset_by_name,
-    reliability_network,
+    run_sweep,
+    sweep_specs,
 )
+from repro.scenario import UniformTraffic, reliability_scenario
 
-__all__ = ["Fig5Point", "fig5_specs", "format_fig5", "run_fig5"]
+__all__ = ["Fig5Point", "fig5_entries", "fig5_specs", "format_fig5", "run_fig5"]
 
 DEFAULT_LOADS = (0.1, 0.3, 0.5, 0.7, 0.8, 0.9)
 
@@ -33,23 +41,26 @@ class Fig5Point:
     p99_latency: float
 
 
-def _fig5_point(
+def fig5_entries(
     base: NetworkConfig,
-    variant: str,
-    load: float,
-    msg_flits: int | None,
-    seed: int,
-) -> Timed:
-    net = reliability_network(base, variant, seed=seed)
-    net.add_uniform_traffic(rate=load, msg_flits=msg_flits)
-    res = net.run_standard()
-    point = Fig5Point(
-        offered=res.offered_load,
-        accepted=res.accepted_load,
-        avg_latency=res.avg_latency,
-        p99_latency=res.p99_latency,
-    )
-    return Timed(point, net.sim.cycle)
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    variants: tuple[str, ...] = tuple(RELIABILITY_VARIANTS),
+    msg_flits: int | None = None,
+) -> list[SweepEntry]:
+    """One scenario per (variant, load) sweep point."""
+    return [
+        SweepEntry(
+            key=(variant, load),
+            label=f"fig5:{variant}:{load!r}",
+            spec=reliability_scenario(
+                base,
+                variant,
+                traffic=(UniformTraffic(rate=load, msg_flits=msg_flits),),
+            ),
+        )
+        for variant in variants
+        for load in loads
+    ]
 
 
 def fig5_specs(
@@ -58,18 +69,12 @@ def fig5_specs(
     variants: tuple[str, ...] = tuple(RELIABILITY_VARIANTS),
     msg_flits: int | None = None,
     seed: int = 1,
+    engine: str = "cycle",
 ) -> list[RunSpec]:
-    """One spec per (variant, load) sweep point."""
-    return [
-        RunSpec(
-            key=(variant, load),
-            fn=_fig5_point,
-            args=(base, variant, load, msg_flits),
-            seed=derive_run_seed(seed, f"fig5:{variant}:{load!r}"),
-        )
-        for variant in variants
-        for load in loads
-    ]
+    """One executor spec per (variant, load) sweep point."""
+    return sweep_specs(
+        fig5_entries(base, loads, variants, msg_flits), seed, engine
+    )
 
 
 def run_fig5(
@@ -79,16 +84,25 @@ def run_fig5(
     msg_flits: int | None = None,
     seed: int = 1,
     jobs: int = 1,
+    engine: str = "cycle",
     progress=None,
 ) -> dict[str, list[Fig5Point]]:
     if base is None:
         base = preset_by_name("tiny")
-    specs = fig5_specs(base, loads, variants, msg_flits, seed)
-    outcomes = run_specs(specs, jobs=jobs, progress=progress)
-    results: dict[str, list[Fig5Point]] = {v: [] for v in variants}
-    for outcome in outcomes:
-        results[outcome.key[0]].append(outcome.value)
-    return results
+    outcomes = run_sweep(
+        fig5_entries(base, loads, variants, msg_flits),
+        seed=seed, engine=engine, jobs=jobs, progress=progress,
+    )
+    return collect_by_variant(
+        outcomes,
+        variants,
+        value=lambda r: Fig5Point(
+            offered=r.offered_load,
+            accepted=r.accepted_load,
+            avg_latency=r.avg_latency,
+            p99_latency=r.p99_latency,
+        ),
+    )
 
 
 def format_fig5(results: dict[str, list[Fig5Point]]) -> str:

@@ -19,12 +19,9 @@ import numpy as np
 
 from repro.engine.config import NetworkConfig
 from repro.engine.stats import TimeSeries
-from repro.experiments.common import (
-    CONGESTION_VARIANTS,
-    congestion_network,
-    preset_by_name,
-)
-from repro.traffic.aggressor import hotspot_scenario
+from repro.experiments.common import CONGESTION_VARIANTS, preset_by_name
+from repro.scenario import HotspotTraffic, congestion_scenario
+from repro.scenario.spec import build_network
 
 __all__ = ["Fig7Result", "format_fig7", "run_fig7"]
 
@@ -65,12 +62,18 @@ def run_fig7(
     runs = list(variants) + (["reference"] if include_reference else [])
     for name in runs:
         variant = "baseline" if name == "reference" else name
-        net = congestion_network(base, variant, seed=seed)
-        scenario = hotspot_scenario(
-            net,
-            victim_rate=victim_rate,
-            aggressor_start=onset if name != "reference" else 10**9,
-        )
+        spec = congestion_scenario(
+            base,
+            variant,
+            traffic=(
+                HotspotTraffic(
+                    victim_rate=victim_rate,
+                    aggressor_start=onset if name != "reference" else 10**9,
+                ),
+            ),
+        ).with_seed(seed)
+        net = build_network(spec)
+        scenario = net.built_scenarios[0]
         victims = frozenset(scenario.victim_nodes)
         series = TimeSeries(period=max(1, sim.sample_period))
 

@@ -18,8 +18,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine.config import NetworkConfig
-from repro.experiments.common import congestion_network, preset_by_name
-from repro.traffic.aggressor import hotspot_scenario
+from repro.experiments.common import preset_by_name
+from repro.scenario import HotspotTraffic, congestion_scenario
+from repro.scenario.spec import build_network
 
 __all__ = ["Fig8Result", "format_fig8", "run_fig8"]
 
@@ -57,13 +58,19 @@ def run_fig8(
     onset = sim.warmup_cycles + int(onset_fraction * (total - sim.warmup_cycles))
     offset = sim.warmup_cycles + int(offset_fraction * (total - sim.warmup_cycles))
 
-    net = congestion_network(base, variant, seed=seed)
-    scenario = hotspot_scenario(
-        net,
-        victim_rate=victim_rate,
-        aggressor_start=onset,
-        aggressor_stop=offset,
-    )
+    spec = congestion_scenario(
+        base,
+        variant,
+        traffic=(
+            HotspotTraffic(
+                victim_rate=victim_rate,
+                aggressor_start=onset,
+                aggressor_stop=offset,
+            ),
+        ),
+    ).with_seed(seed)
+    net = build_network(spec)
+    scenario = net.built_scenarios[0]
     hotspot_node = scenario.hotspot_nodes[0]
     hotspot_switch = net.topology.node_switch(hotspot_node)  # type: ignore[attr-defined]
     aggr_eps = [net.endpoints[n] for n in scenario.aggressor_nodes]

@@ -10,45 +10,57 @@ rises with burst size, peaks at intermediate bursts (congestion events
 too short for ECN to react, long enough to hurt), then falls once bursts
 are long enough for ECN's steady state; stashing networks stay flat and
 below the baseline at every burst size.
+
+Runs on either engine; the flow fastpath models the aggressors as
+closed-loop fluid sources and reports trend-level tails only
+(docs/FASTPATH.md).
 """
 
 from __future__ import annotations
 
 from repro.engine.config import NetworkConfig
-from repro.engine.parallel import RunSpec, Timed, derive_run_seed, run_specs
+from repro.engine.parallel import RunSpec
 from repro.experiments.common import (
     CONGESTION_VARIANTS,
-    congestion_network,
+    SweepEntry,
     preset_by_name,
+    run_sweep,
+    sweep_specs,
 )
-from repro.traffic.aggressor import uniform_aggressor_scenario
+from repro.scenario import UniformAggressorTraffic, congestion_scenario
 
-__all__ = ["fig9_specs", "format_fig9", "run_fig9"]
+__all__ = ["fig9_entries", "fig9_specs", "format_fig9", "run_fig9"]
 
 DEFAULT_BURSTS_PKTS = (1, 2, 4, 8, 16, 32, 64)
 
 
-def _fig9_point(
+def fig9_entries(
     base: NetworkConfig,
-    variant: str,
-    burst: int,
-    victim_rate: float,
-    percentile: float,
-    seed: int,
-) -> Timed:
-    net = congestion_network(base, variant, seed=seed)
-    uniform_aggressor_scenario(
-        net,
-        burst_flits=burst * base.switch.max_packet_flits,
-        victim_rate=victim_rate,
-    )
-    net.sim.run(base.sim.warmup_cycles)
-    net.open_measurement()
-    net.sim.run(base.sim.measure_cycles)
-    net.close_measurement()
-    stats = net.group_latency["victim"]
-    point = (burst, stats.percentile(percentile), net.result().accepted_load)
-    return Timed(point, net.sim.cycle)
+    bursts_pkts: tuple[int, ...] = DEFAULT_BURSTS_PKTS,
+    variants: tuple[str, ...] = tuple(CONGESTION_VARIANTS),
+    victim_rate: float = 0.4,
+) -> list[SweepEntry]:
+    """One scenario per (variant, burst size); fig9 measures without a
+    drain phase (open victim + saturating aggressors never drain)."""
+    return [
+        SweepEntry(
+            key=(variant, burst),
+            label=f"fig9:{variant}:{burst}",
+            spec=congestion_scenario(
+                base,
+                variant,
+                traffic=(
+                    UniformAggressorTraffic(
+                        burst_flits=burst * base.switch.max_packet_flits,
+                        victim_rate=victim_rate,
+                    ),
+                ),
+                drain=False,
+            ),
+        )
+        for variant in variants
+        for burst in bursts_pkts
+    ]
 
 
 def fig9_specs(
@@ -56,20 +68,13 @@ def fig9_specs(
     bursts_pkts: tuple[int, ...] = DEFAULT_BURSTS_PKTS,
     variants: tuple[str, ...] = tuple(CONGESTION_VARIANTS),
     victim_rate: float = 0.4,
-    percentile: float = 90.0,
     seed: int = 1,
+    engine: str = "cycle",
 ) -> list[RunSpec]:
-    """One spec per (variant, burst size) sweep point."""
-    return [
-        RunSpec(
-            key=(variant, burst),
-            fn=_fig9_point,
-            args=(base, variant, burst, victim_rate, percentile),
-            seed=derive_run_seed(seed, f"fig9:{variant}:{burst}"),
-        )
-        for variant in variants
-        for burst in bursts_pkts
-    ]
+    """One executor spec per (variant, burst size) sweep point."""
+    return sweep_specs(
+        fig9_entries(base, bursts_pkts, variants, victim_rate), seed, engine
+    )
 
 
 def run_fig9(
@@ -80,6 +85,7 @@ def run_fig9(
     percentile: float = 90.0,
     seed: int = 1,
     jobs: int = 1,
+    engine: str = "cycle",
     progress=None,
 ) -> dict[str, list[tuple[int, float, float]]]:
     """Returns variant -> [(burst_pkts, victim pXX latency, victim
@@ -87,15 +93,19 @@ def run_fig9(
     across the sweep while latency diverges."""
     if base is None:
         base = preset_by_name("tiny")
-    specs = fig9_specs(
-        base, bursts_pkts, variants, victim_rate, percentile, seed
+    outcomes = run_sweep(
+        fig9_entries(base, bursts_pkts, variants, victim_rate),
+        seed=seed, engine=engine, jobs=jobs, progress=progress,
     )
-    outcomes = run_specs(specs, jobs=jobs, progress=progress)
     results: dict[str, list[tuple[int, float, float]]] = {
         v: [] for v in variants
     }
     for outcome in outcomes:
-        results[outcome.key[0]].append(outcome.value)
+        variant, burst = outcome.key
+        r = outcome.value
+        results[variant].append(
+            (burst, r.group("victim").percentile(percentile), r.accepted_load)
+        )
     return results
 
 

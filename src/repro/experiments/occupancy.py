@@ -10,13 +10,14 @@ the whole paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.engine.config import NetworkConfig
 from repro.engine.parallel import RunSpec, Timed, derive_run_seed, run_specs
 from repro.experiments.common import preset_by_name
-from repro.network import Network
 from repro.obs.timeline import Timeline
+from repro.scenario import ScenarioSpec, UniformTraffic
+from repro.scenario.spec import build_network
 
 __all__ = [
     "OccupancyRow",
@@ -46,9 +47,11 @@ def _census_point(
     sample_period: int,
     seed: int,
 ) -> Timed:
-    cfg = base.with_(sim=replace(base.sim, seed=seed))
-    net = Network(cfg)  # baseline: full symmetric buffers everywhere
-    net.add_uniform_traffic(rate=load)
+    # baseline: full symmetric buffers everywhere (plain variant)
+    spec = ScenarioSpec(
+        config=base, traffic=(UniformTraffic(rate=load),)
+    ).with_seed(seed)
+    net = build_network(spec)
 
     topo = net.topology
     classes = ("endpoint", "local", "global")

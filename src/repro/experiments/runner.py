@@ -55,8 +55,22 @@ def _progress_printer(name: str):
     return progress
 
 
-def _run_one(name: str, base, quick: bool, jobs: int = 1) -> str:
+#: experiments that accept an ``engine=`` argument; everything else
+#: probes the switch microarchitecture or transient behavior and is
+#: cycle-only (see docs/FASTPATH.md)
+ENGINE_AWARE = ("fig5", "fig9", "fattree")
+
+
+def _run_one(name: str, base, quick: bool, jobs: int = 1,
+             engine: str = "cycle") -> str:
     progress = _progress_printer(name)
+    if engine != "cycle" and name not in ENGINE_AWARE:
+        from repro.engine.base import EngineUnsupported
+
+        raise EngineUnsupported(
+            f"experiment {name!r} is cycle-only; --engine {engine} supports "
+            f"{', '.join(ENGINE_AWARE)}"
+        )
     if name == "table1":
         from repro.experiments.tables import format_table1, run_table1
 
@@ -70,7 +84,8 @@ def _run_one(name: str, base, quick: bool, jobs: int = 1) -> str:
 
         loads = (0.2, 0.5, 0.8) if quick else (0.1, 0.3, 0.5, 0.7, 0.8, 0.9)
         return format_fig5(
-            run_fig5(base, loads=loads, jobs=jobs, progress=progress)
+            run_fig5(base, loads=loads, jobs=jobs, progress=progress,
+                     engine=engine)
         )
     if name == "fig6":
         from repro.experiments.fig6 import format_fig6, run_fig6
@@ -93,7 +108,8 @@ def _run_one(name: str, base, quick: bool, jobs: int = 1) -> str:
 
         bursts = (1, 8, 32) if quick else (1, 2, 4, 8, 16, 32, 64)
         return format_fig9(
-            run_fig9(base, bursts_pkts=bursts, jobs=jobs, progress=progress)
+            run_fig9(base, bursts_pkts=bursts, jobs=jobs, progress=progress,
+                     engine=engine)
         )
     if name == "occupancy":
         from repro.experiments.occupancy import (
@@ -113,7 +129,8 @@ def _run_one(name: str, base, quick: bool, jobs: int = 1) -> str:
         loads = (0.3,) if quick else (0.3, 0.7)
         return format_fattree(
             run_fattree_reliability(
-                base, loads=loads, jobs=jobs, progress=progress
+                base, loads=loads, jobs=jobs, progress=progress,
+                engine=engine,
             )
         )
     if name == "ablation":
@@ -171,6 +188,13 @@ def main(argv: list[str] | None = None) -> int:
         "results are bit-identical for any N)",
     )
     parser.add_argument(
+        "--engine",
+        default="cycle",
+        choices=("cycle", "flow"),
+        help="simulation engine: 'cycle' (cycle-accurate, default) or "
+        "'flow' (flow-level fastpath; fig5/fig9/fattree only)",
+    )
+    parser.add_argument(
         "--kernel",
         default=None,
         choices=("polling", "event"),
@@ -193,6 +217,16 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.engine != "cycle":
+        wanted = (
+            EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+        )
+        bad = [n for n in wanted if n not in ENGINE_AWARE]
+        if bad:
+            parser.error(
+                f"--engine {args.engine} supports {', '.join(ENGINE_AWARE)}; "
+                f"{', '.join(bad)} are cycle-only"
+            )
 
     base = preset_by_name(args.preset)
     if args.quick:
@@ -219,7 +253,8 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         t0 = time.perf_counter()
         print(f"=== {name} (preset={args.preset}) ===")
-        print(_run_one(name, base, args.quick, jobs=args.jobs))
+        print(_run_one(name, base, args.quick, jobs=args.jobs,
+                       engine=args.engine))
         print()
         # wall-clock varies run to run; keep stdout deterministic
         print(f"--- {name} done in {time.perf_counter() - t0:.1f}s ---",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.endpoints.endpoint import Endpoint
 from repro.engine.channel import Channel, CreditChannel
@@ -132,6 +132,9 @@ class Network:
         self._meas_delivered = 0
         self.total_data_packets_delivered = 0
         self.on_packet_delivered_hooks: list[Callable[[Packet, int], None]] = []
+        # scenario bookkeeping: aggressor/victim partitions attached by
+        # repro.scenario.spec.apply_traffic (empty for plain traffic)
+        self.built_scenarios: list[Any] = []
 
         # observability (repro.obs): both stay None unless enabled in the
         # config, so the emit guards in the hot paths cost one attribute
