@@ -1,0 +1,467 @@
+"""Declarative sweep campaigns: the campaign file model and expansion.
+
+A **campaign** is a parameter study written down as data — which sweep
+family (``fig5`` / ``fig9`` / ``fattree``), which preset and engine,
+which axis values (loads, burst sizes, variants), and which experiment
+seeds — loaded from a TOML or JSON file (or built programmatically) and
+expanded into the exact :class:`repro.scenario.ScenarioSpec` grid the
+interactive runner would execute.  The expansion is the psim
+``ConfigSweeper`` idiom recast onto this repo's scenario layer: the
+campaign file is the single source of truth, and every execution path —
+serial, ``--jobs N``, ``--shard i/N``, resumed after a kill — derives
+the same ordered point list from it.
+
+Determinism contract: expansion order, point labels, and the per-point
+derived seeds are exactly those of the interactive sweep harness
+(:mod:`repro.experiments.common`), so a campaign's cached results are
+interchangeable with ``repro-experiments`` output, and a point's cache
+key (:meth:`CampaignPoint.store_key`) is stable across processes,
+hosts, and reruns.
+
+File schema (see docs/CAMPAIGNS.md for the full reference)::
+
+    [campaign]
+    name = "fig5-paper-flow"
+    sweep = "fig5"            # fig5 | fig9 | fattree
+    preset = "paper"          # tiny | small | paper
+    engine = "flow"           # cycle | flow
+    seeds = [1]               # one grid per experiment seed
+    quick = false             # optional: runner --quick windows
+
+    [axes]                    # sweep-specific; defaults = full grid
+    variants = ["baseline", "stash100", "stash50", "stash25"]
+    loads = [0.1, 0.3, 0.5, 0.7, 0.8, 0.9]
+
+    [windows]                 # optional SimParams overrides
+    warmup_cycles = 200
+    measure_cycles = 500
+    drain_cycles = 1000
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.engine.config import NetworkConfig
+from repro.engine.parallel import RunSpec, derive_run_seed
+from repro.experiments.common import (
+    SweepEntry,
+    preset_by_name,
+    quicken,
+    scenario_point,
+)
+from repro.scenario import ScenarioSpec
+
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "CampaignPoint",
+    "PRESETS",
+    "RESULT_SCHEMA_VERSION",
+    "SWEEPS",
+    "expand_campaign",
+    "load_campaign",
+    "parse_campaign_text",
+    "shard_points",
+]
+
+#: version of the persisted result payload (part of every cache key);
+#: bump when :class:`repro.engine.base.EngineResult` changes shape so
+#: stale stores read as misses instead of mis-parsing
+RESULT_SCHEMA_VERSION = 1
+
+#: sweep family -> experiment module exposing ``campaign_entries``
+SWEEPS: dict[str, str] = {
+    "fig5": "repro.experiments.fig5",
+    "fig9": "repro.experiments.fig9",
+    "fattree": "repro.experiments.fattree_exp",
+}
+
+PRESETS = ("tiny", "small", "paper")
+ENGINES = ("cycle", "flow")
+
+#: SimParams fields a campaign's [windows] section may override
+WINDOW_FIELDS = (
+    "warmup_cycles",
+    "measure_cycles",
+    "drain_cycles",
+    "sample_period",
+)
+
+
+class CampaignError(ValueError):
+    """A campaign file or campaign value failed validation."""
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One declarative sweep campaign (the parsed campaign file).
+
+    ``axes`` holds the sweep-specific grid axes (validated by the sweep
+    module's ``campaign_entries``); ``windows`` optionally overrides the
+    preset's measurement windows; ``quick`` applies the runner's
+    ``--quick`` halving before the window overrides.
+    """
+
+    name: str
+    sweep: str
+    preset: str = "tiny"
+    engine: str = "cycle"
+    seeds: tuple[int, ...] = (1,)
+    quick: bool = False
+    axes: dict[str, Any] = field(default_factory=dict)
+    windows: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise CampaignError("campaign.name must be a non-empty string")
+        if self.sweep not in SWEEPS:
+            raise CampaignError(
+                f"unknown sweep {self.sweep!r}; choose from {sorted(SWEEPS)}"
+            )
+        if self.preset not in PRESETS:
+            raise CampaignError(
+                f"unknown preset {self.preset!r}; choose from {PRESETS}"
+            )
+        if self.engine not in ENGINES:
+            raise CampaignError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
+        if not self.seeds or not all(
+            isinstance(s, int) and not isinstance(s, bool) for s in self.seeds
+        ):
+            raise CampaignError("campaign.seeds must be a non-empty int list")
+        for key in self.windows:
+            if key not in WINDOW_FIELDS:
+                raise CampaignError(
+                    f"unknown [windows] key {key!r}; choose from {WINDOW_FIELDS}"
+                )
+
+    # -- identity ------------------------------------------------------
+
+    def canonical(self) -> dict[str, Any]:
+        """The campaign as plain sorted-key data (hash/provenance form)."""
+        return {
+            "name": self.name,
+            "sweep": self.sweep,
+            "preset": self.preset,
+            "engine": self.engine,
+            "seeds": list(self.seeds),
+            "quick": self.quick,
+            "axes": {k: self.axes[k] for k in sorted(self.axes)},
+            "windows": {k: self.windows[k] for k in sorted(self.windows)},
+        }
+
+    def campaign_hash(self) -> str:
+        """Stable sha256 of the campaign definition (provenance only —
+        cache keys depend on the *points*, never on this hash, so two
+        campaigns sharing points share cache entries)."""
+        canon = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+    # -- materialisation ----------------------------------------------
+
+    def base_config(self) -> NetworkConfig:
+        """The preset after ``quick`` scaling and window overrides."""
+        base = preset_by_name(self.preset)
+        if self.quick:
+            base = quicken(base, 0.5)
+        if self.windows:
+            base = base.with_(sim=replace(base.sim, **self.windows))
+        return base
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One expanded experiment point of a campaign.
+
+    ``index`` is the point's position in expansion order — the shard
+    partitioning key (``index % nshards``).  ``spec`` already carries
+    the per-point derived seed, so ``spec.spec_hash()`` is the full
+    content identity of the computation; :meth:`store_key` appends the
+    engine and result-schema version to form the cache key.
+    """
+
+    index: int
+    sweep_seed: int
+    key: tuple
+    label: str
+    spec: ScenarioSpec
+    engine: str
+
+    @property
+    def derived_seed(self) -> int | None:
+        """The seed the executor threads into the engine run."""
+        return self.spec.seed
+
+    def store_key(self) -> tuple[str, str, int]:
+        """The content-addressed cache key: (spec hash, engine, schema)."""
+        return (self.spec.spec_hash(), self.engine, RESULT_SCHEMA_VERSION)
+
+    def run_spec(self) -> RunSpec:
+        """Lower to an executor spec — identical construction to
+        :func:`repro.experiments.common.sweep_specs`, so cached campaign
+        results are interchangeable with interactive sweep output."""
+        return RunSpec(
+            key=self.key,
+            fn=scenario_point,
+            args=(self.spec.with_seed(None), self.engine),
+            seed=self.derived_seed,
+        )
+
+
+def _sweep_entries(campaign: Campaign, base: NetworkConfig) -> list[SweepEntry]:
+    """Ask the sweep family's experiment module to expand the axes."""
+    import importlib
+
+    module = importlib.import_module(SWEEPS[campaign.sweep])
+    try:
+        builder = module.campaign_entries
+    except AttributeError as exc:  # pragma: no cover - registry bug
+        raise CampaignError(
+            f"sweep module {SWEEPS[campaign.sweep]} lacks campaign_entries"
+        ) from exc
+    return builder(base, dict(campaign.axes))
+
+
+def expand_campaign(campaign: Campaign) -> list[CampaignPoint]:
+    """Expand a campaign into its ordered, fully seeded point list.
+
+    Order is (seed-major, sweep-entry order) and depends only on the
+    campaign definition — never on caches, shards, or worker counts —
+    so point indices are a stable partitioning key for ``--shard``.
+    """
+    base = campaign.base_config()
+    entries = _sweep_entries(campaign, base)
+    points: list[CampaignPoint] = []
+    for sweep_seed in campaign.seeds:
+        for entry in entries:
+            derived = derive_run_seed(sweep_seed, entry.label)
+            points.append(
+                CampaignPoint(
+                    index=len(points),
+                    sweep_seed=sweep_seed,
+                    key=(sweep_seed,) + tuple(entry.key),
+                    label=entry.label,
+                    spec=entry.spec.with_seed(derived),
+                    engine=campaign.engine,
+                )
+            )
+    return points
+
+
+def shard_points(
+    points: list[CampaignPoint], shard: tuple[int, int] | None
+) -> list[CampaignPoint]:
+    """This shard's slice: points whose ``index % n == i``.
+
+    Round-robin by expansion index keeps per-shard cost balanced when
+    cost varies monotonically along an axis (high loads are slower), and
+    makes shards disjoint and jointly exhaustive by construction.
+    """
+    if shard is None:
+        return points
+    i, n = shard
+    if n < 1 or not 0 <= i < n:
+        raise CampaignError(f"invalid shard {i}/{n}: need 0 <= i < n")
+    return [p for p in points if p.index % n == i]
+
+
+# ----------------------------------------------------------------------
+# campaign file parsing
+# ----------------------------------------------------------------------
+
+
+def parse_campaign_text(text: str, fmt: str = "toml") -> Campaign:
+    """Parse campaign file contents (``fmt``: ``"toml"`` or ``"json"``)."""
+    if fmt == "json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"invalid campaign JSON: {exc}") from exc
+    elif fmt == "toml":
+        data = _parse_toml(text)
+    else:
+        raise CampaignError(f"unknown campaign format {fmt!r}")
+    return _campaign_from_data(data)
+
+
+def load_campaign(path: str) -> Campaign:
+    """Load a campaign from a ``.toml`` or ``.json`` file."""
+    fmt = "json" if str(path).endswith(".json") else "toml"
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_campaign_text(fh.read(), fmt)
+
+
+def _campaign_from_data(data: Any) -> Campaign:
+    if not isinstance(data, dict):
+        raise CampaignError("campaign file must be a table/object at top level")
+    unknown = set(data) - {"campaign", "axes", "windows"}
+    if unknown:
+        raise CampaignError(
+            f"unknown campaign section(s) {sorted(unknown)}; expected "
+            "[campaign], [axes], [windows]"
+        )
+    head = data.get("campaign")
+    if not isinstance(head, dict):
+        raise CampaignError("campaign file needs a [campaign] section")
+    known = {"name", "sweep", "preset", "engine", "seeds", "quick"}
+    bad = set(head) - known
+    if bad:
+        raise CampaignError(
+            f"unknown [campaign] key(s) {sorted(bad)}; expected {sorted(known)}"
+        )
+    for req in ("name", "sweep"):
+        if req not in head:
+            raise CampaignError(f"[campaign] section is missing {req!r}")
+    seeds = head.get("seeds", [1])
+    if not isinstance(seeds, list):
+        raise CampaignError("[campaign] seeds must be an array of ints")
+    axes = data.get("axes", {})
+    if not isinstance(axes, dict):
+        raise CampaignError("[axes] must be a table")
+    windows = data.get("windows", {})
+    if not isinstance(windows, dict):
+        raise CampaignError("[windows] must be a table")
+    for key, value in windows.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise CampaignError(f"[windows] {key} must be an integer")
+    return Campaign(
+        name=head["name"],
+        sweep=head["sweep"],
+        preset=head.get("preset", "tiny"),
+        engine=head.get("engine", "cycle"),
+        seeds=tuple(seeds),
+        quick=bool(head.get("quick", False)),
+        axes=dict(axes),
+        windows=dict(windows),
+    )
+
+
+def _parse_toml(text: str) -> dict[str, Any]:
+    """Parse campaign TOML — stdlib :mod:`tomllib` on Python >= 3.11,
+    the bundled subset parser (:func:`parse_toml_subset`) on 3.10."""
+    if sys.version_info >= (3, 11):
+        import tomllib
+
+        try:
+            return tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise CampaignError(f"invalid campaign TOML: {exc}") from exc
+    # Python 3.10: no stdlib tomllib and no new deps allowed
+    return parse_toml_subset(text)
+
+
+def parse_toml_subset(text: str) -> dict[str, Any]:
+    """A minimal TOML-subset reader for campaign files on Python 3.10.
+
+    Supports exactly what the campaign schema needs — ``[section]``
+    headers one level deep, ``key = value`` with string / int / float /
+    bool scalars, single-line arrays of scalars, and ``#`` comments —
+    and rejects everything else loudly.  Campaign files written for this
+    subset parse identically under stdlib ``tomllib`` (a test asserts
+    so for every committed campaign file).
+    """
+    root: dict[str, Any] = {}
+    table = root
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_toml_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise CampaignError(f"line {lineno}: malformed table header")
+            name = line[1:-1].strip()
+            if not name or "." in name or "[" in name:
+                raise CampaignError(
+                    f"line {lineno}: only single-level [section] headers "
+                    "are supported"
+                )
+            if name in root:
+                raise CampaignError(f"line {lineno}: duplicate table {name!r}")
+            table = root.setdefault(name, {})
+            continue
+        if "=" not in line:
+            raise CampaignError(f"line {lineno}: expected key = value")
+        key, _, value = line.partition("=")
+        key = key.strip().strip('"')
+        if not key:
+            raise CampaignError(f"line {lineno}: empty key")
+        if key in table:
+            raise CampaignError(f"line {lineno}: duplicate key {key!r}")
+        table[key] = _parse_toml_value(value.strip(), lineno)
+    return root
+
+
+def _strip_toml_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment (respecting double-quoted strings)."""
+    out = []
+    in_string = False
+    for ch in line:
+        if ch == '"':
+            in_string = not in_string
+        elif ch == "#" and not in_string:
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _parse_toml_value(token: str, lineno: int) -> Any:
+    if not token:
+        raise CampaignError(f"line {lineno}: missing value")
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [
+            _parse_toml_value(part.strip(), lineno)
+            for part in _split_toml_array(inner, lineno)
+        ]
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return token[1:-1]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        raise CampaignError(
+            f"line {lineno}: unsupported value {token!r} (the 3.10 subset "
+            "parser reads strings, ints, floats, bools, and flat arrays)"
+        ) from None
+
+
+def _split_toml_array(inner: str, lineno: int) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    in_string = False
+    current = []
+    for ch in inner:
+        if ch == '"':
+            in_string = not in_string
+        if not in_string:
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == "," and depth == 0:
+                parts.append("".join(current))
+                current = []
+                continue
+        current.append(ch)
+    if in_string or depth:
+        raise CampaignError(f"line {lineno}: unterminated array or string")
+    if "".join(current).strip():
+        parts.append("".join(current))
+    return parts

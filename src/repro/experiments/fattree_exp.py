@@ -29,6 +29,7 @@ from repro.scenario import (
 )
 
 __all__ = [
+    "campaign_entries",
     "fattree_entries",
     "fattree_specs",
     "format_fattree",
@@ -58,6 +59,25 @@ def fattree_entries(
         for variant in variants
         for load in loads
     ]
+
+
+def campaign_entries(base: NetworkConfig, axes: dict) -> list[SweepEntry]:
+    """Campaign-file binding (``sweep = "fattree"``; docs/CAMPAIGNS.md).
+
+    Accepted ``[axes]`` keys: ``variants``, ``loads`` (floats; this
+    sweep's variant set is ``baseline``/``stash100``/``stash25``).
+    """
+    known = {"variants", "loads"}
+    unknown = sorted(set(axes) - known)
+    if unknown:
+        raise ValueError(
+            f"fattree campaigns accept axes {sorted(known)}; unknown {unknown}"
+        )
+    return fattree_entries(
+        base,
+        loads=tuple(float(x) for x in axes.get("loads", (0.3, 0.7))),
+        variants=tuple(axes.get("variants", tuple(VARIANTS))),
+    )
 
 
 def fattree_specs(

@@ -28,7 +28,14 @@ from repro.experiments.common import (
 )
 from repro.scenario import UniformTraffic, reliability_scenario
 
-__all__ = ["Fig5Point", "fig5_entries", "fig5_specs", "format_fig5", "run_fig5"]
+__all__ = [
+    "Fig5Point",
+    "campaign_entries",
+    "fig5_entries",
+    "fig5_specs",
+    "format_fig5",
+    "run_fig5",
+]
 
 DEFAULT_LOADS = (0.1, 0.3, 0.5, 0.7, 0.8, 0.9)
 
@@ -61,6 +68,28 @@ def fig5_entries(
         for variant in variants
         for load in loads
     ]
+
+
+def campaign_entries(base: NetworkConfig, axes: dict) -> list[SweepEntry]:
+    """Campaign-file binding (``sweep = "fig5"``; docs/CAMPAIGNS.md).
+
+    Accepted ``[axes]`` keys: ``variants``, ``loads``, ``msg_flits``.
+    Loads are coerced to float so a campaign file's ``1`` and the
+    interactive runner's ``1.0`` produce identical labels (and
+    therefore identical derived seeds).
+    """
+    known = {"variants", "loads", "msg_flits"}
+    unknown = sorted(set(axes) - known)
+    if unknown:
+        raise ValueError(
+            f"fig5 campaigns accept axes {sorted(known)}; unknown {unknown}"
+        )
+    return fig5_entries(
+        base,
+        loads=tuple(float(x) for x in axes.get("loads", DEFAULT_LOADS)),
+        variants=tuple(axes.get("variants", tuple(RELIABILITY_VARIANTS))),
+        msg_flits=axes.get("msg_flits"),
+    )
 
 
 def fig5_specs(

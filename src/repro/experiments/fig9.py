@@ -29,7 +29,13 @@ from repro.experiments.common import (
 )
 from repro.scenario import UniformAggressorTraffic, congestion_scenario
 
-__all__ = ["fig9_entries", "fig9_specs", "format_fig9", "run_fig9"]
+__all__ = [
+    "campaign_entries",
+    "fig9_entries",
+    "fig9_specs",
+    "format_fig9",
+    "run_fig9",
+]
 
 DEFAULT_BURSTS_PKTS = (1, 2, 4, 8, 16, 32, 64)
 
@@ -61,6 +67,29 @@ def fig9_entries(
         for variant in variants
         for burst in bursts_pkts
     ]
+
+
+def campaign_entries(base: NetworkConfig, axes: dict) -> list[SweepEntry]:
+    """Campaign-file binding (``sweep = "fig9"``; docs/CAMPAIGNS.md).
+
+    Accepted ``[axes]`` keys: ``variants``, ``bursts_pkts``,
+    ``victim_rate``.  Burst sizes are coerced to int (labels, and
+    therefore derived seeds, must match the interactive runner's).
+    """
+    known = {"variants", "bursts_pkts", "victim_rate"}
+    unknown = sorted(set(axes) - known)
+    if unknown:
+        raise ValueError(
+            f"fig9 campaigns accept axes {sorted(known)}; unknown {unknown}"
+        )
+    return fig9_entries(
+        base,
+        bursts_pkts=tuple(
+            int(x) for x in axes.get("bursts_pkts", DEFAULT_BURSTS_PKTS)
+        ),
+        variants=tuple(axes.get("variants", tuple(CONGESTION_VARIANTS))),
+        victim_rate=float(axes.get("victim_rate", 0.4)),
+    )
 
 
 def fig9_specs(

@@ -68,7 +68,10 @@ def _run_one(name: str, base, quick: bool, jobs: int = 1,
         from repro.engine.base import EngineUnsupported
 
         raise EngineUnsupported(
-            f"experiment {name!r} is cycle-only; --engine {engine} supports "
+            f"experiment {name!r} is cycle-only: it measures transients or "
+            "per-packet behaviour, which the steady-state fluid fastpath "
+            "cannot represent (a time-stepped fluid mode would be needed; "
+            f"see docs/FASTPATH.md). --engine {engine} supports "
             f"{', '.join(ENGINE_AWARE)}"
         )
     if name == "table1":
@@ -225,7 +228,10 @@ def main(argv: list[str] | None = None) -> int:
         if bad:
             parser.error(
                 f"--engine {args.engine} supports {', '.join(ENGINE_AWARE)}; "
-                f"{', '.join(bad)} are cycle-only"
+                f"{', '.join(bad)} are cycle-only: they measure transients "
+                "or per-packet behaviour, which the steady-state fluid "
+                "fastpath cannot represent (a time-stepped fluid mode would "
+                "be needed; see docs/FASTPATH.md)"
             )
 
     base = preset_by_name(args.preset)

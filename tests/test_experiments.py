@@ -304,3 +304,16 @@ class TestRunnerCli:
 
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_flow_rejection_names_the_limitation(self, capsys):
+        """`--engine flow` on a transient experiment must explain *why*
+        (steady-state fluid model, no time-stepped mode) and point at
+        the fastpath docs, not just refuse."""
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["fig7", "--engine", "flow"])
+        err = capsys.readouterr().err
+        assert "transients" in err
+        assert "time-stepped" in err
+        assert "docs/FASTPATH.md" in err
